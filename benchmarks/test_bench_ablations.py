@@ -1,0 +1,215 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not in the paper's tables, but each isolates one mechanism the paper argues
+for:
+
+* latent memory (Section 5.2.2) — disabling reuse must create at least as
+  many experts (every recurring regime respawns a specialist);
+* consolidation (Section 5.2.5) — disabling the merge step can only keep the
+  pool the same size or larger;
+* FLIPS (Sections 4.1/5.2.3) — label-aware selection yields cohorts with
+  flatter pooled label distributions than uniform sampling;
+* threshold sensitivity (Section 5) — an over-tight delta_cov detects
+  (almost) everything, an over-loose one detects (almost) nothing, and the
+  calibrated value sits between;
+* facility-location solvers (Section 5.1) — the greedy approximation stays
+  close to the exact optimum on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.core import ShiftExConfig, ShiftExStrategy
+from repro.data.federated import FederatedShiftDataset
+from repro.data.registry import DatasetSpec
+from repro.experts.facility import (
+    FacilityLocationProblem,
+    solve_exact,
+    solve_greedy,
+)
+from repro.federation.rounds import RoundConfig
+from repro.harness.profiles import RunSettings
+from repro.harness.runner import run_strategy
+from repro.nn.training import LocalTrainingConfig
+from repro.utils.rng import spawn_rng
+
+
+def ablation_spec() -> DatasetSpec:
+    return DatasetSpec(
+        name="ablation_recurring",
+        paper_name="ablation",
+        num_classes=6,
+        image_size=8,
+        channels=1,
+        num_parties=12,
+        num_windows=4,
+        model_name="mlp",
+        windowing="tumbling",
+        window_regimes=(("invert_polarity", 4), ("invert_polarity", 4),
+                        ("invert_polarity", 4)),
+        dirichlet_alpha=3.0,
+        train_per_window=36,
+        test_per_window=18,
+        domain_noise_scale=0.15,
+        seed=111,
+    )
+
+
+def ablation_settings() -> RunSettings:
+    return RunSettings(
+        rounds_burn_in=5,
+        rounds_per_window=3,
+        round_config=RoundConfig(
+            participants_per_round=6,
+            local=LocalTrainingConfig(epochs=2, batch_size=8, lr=0.05,
+                                      momentum=0.9),
+        ),
+    )
+
+
+def run_config(config: ShiftExConfig, seed: int = 0):
+    spec = ablation_spec()
+    strategy = ShiftExStrategy(config)
+    result = run_strategy(strategy, spec, ablation_settings(), seed=seed,
+                          dataset=FederatedShiftDataset(spec))
+    return strategy, result
+
+
+def test_bench_ablation_latent_memory(benchmark):
+    def run_both():
+        base, _ = run_config(ShiftExConfig())
+        ablated, _ = run_config(ShiftExConfig(enable_latent_memory=False,
+                                              enable_consolidation=False))
+        return base, ablated
+
+    base, ablated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    created_with = base.registry.created_total
+    created_without = ablated.registry.created_total
+    artifact = (
+        "Ablation: latent memory (recurring regime x3)\n"
+        f"  experts created with reuse:    {created_with}\n"
+        f"  experts created without reuse: {created_without}\n"
+    )
+    write_artifact("ablation_latent_memory", artifact)
+    print("\n" + artifact)
+    assert created_without >= created_with
+
+
+def test_bench_ablation_consolidation(benchmark):
+    def run_both():
+        with_merge, _ = run_config(ShiftExConfig(enable_latent_memory=False,
+                                                 tau=0.98))
+        without_merge, _ = run_config(ShiftExConfig(enable_latent_memory=False,
+                                                    enable_consolidation=False))
+        return with_merge, without_merge
+
+    with_merge, without_merge = benchmark.pedantic(run_both, rounds=1,
+                                                   iterations=1)
+    artifact = (
+        "Ablation: expert consolidation (reuse disabled to force duplicates)\n"
+        f"  live experts with consolidation:    {len(with_merge.registry)}"
+        f" (merged {with_merge.registry.merged_total})\n"
+        f"  live experts without consolidation: {len(without_merge.registry)}\n"
+    )
+    write_artifact("ablation_consolidation", artifact)
+    print("\n" + artifact)
+    assert len(with_merge.registry) <= len(without_merge.registry)
+
+
+def test_bench_ablation_flips_balance(benchmark):
+    """FLIPS cohorts pool to flatter label distributions than uniform picks."""
+    from repro.flips import FlipsSelector, label_balance_score
+
+    rng = spawn_rng(0, "flips-ablation")
+    num_parties, num_classes = 30, 6
+    histograms = {}
+    for pid in range(num_parties):
+        hist = np.zeros(num_classes)
+        hist[pid % num_classes] = 0.8
+        hist += 0.2 / num_classes
+        histograms[pid] = hist / hist.sum()
+
+    def compare():
+        selector = FlipsSelector().fit(histograms, spawn_rng(1, "fit"))
+        flips_scores, uniform_scores = [], []
+        for trial in range(30):
+            chosen = selector.select(6, spawn_rng(trial, "flips"))
+            flips_scores.append(
+                label_balance_score([histograms[p] for p in chosen]))
+            uniform = spawn_rng(trial, "uni").choice(num_parties, size=6,
+                                                     replace=False)
+            uniform_scores.append(
+                label_balance_score([histograms[p] for p in uniform]))
+        return float(np.mean(flips_scores)), float(np.mean(uniform_scores))
+
+    flips_mean, uniform_mean = benchmark(compare)
+    artifact = (
+        "Ablation: FLIPS vs uniform participant selection\n"
+        f"  mean cohort label-imbalance (JSD to uniform), FLIPS:   {flips_mean:.4f}\n"
+        f"  mean cohort label-imbalance (JSD to uniform), uniform: {uniform_mean:.4f}\n"
+    )
+    write_artifact("ablation_flips", artifact)
+    print("\n" + artifact)
+    assert flips_mean <= uniform_mean
+
+
+def test_bench_ablation_threshold_sensitivity(benchmark):
+    def run_three():
+        tight, _ = run_config(ShiftExConfig(delta_cov=1e-4))
+        calibrated, _ = run_config(ShiftExConfig())
+        loose, _ = run_config(ShiftExConfig(delta_cov=10.0,
+                                            enable_label_detection=False))
+        return tight, calibrated, loose
+
+    tight, calibrated, loose = benchmark.pedantic(run_three, rounds=1,
+                                                  iterations=1)
+
+    def detected(strategy):
+        return sum(log["num_shifted"] for log in strategy.shift_log)
+
+    artifact = (
+        "Ablation: delta_cov sensitivity (total shifted-party detections)\n"
+        f"  delta_cov=1e-4 (over-tight):  {detected(tight)}\n"
+        f"  delta_cov=calibrated:         {detected(calibrated)}\n"
+        f"  delta_cov=10.0 (over-loose):  {detected(loose)}\n"
+    )
+    write_artifact("ablation_thresholds", artifact)
+    print("\n" + artifact)
+    assert detected(tight) >= detected(calibrated) >= detected(loose)
+    assert detected(loose) == 0
+
+
+def test_bench_ablation_facility_solvers(benchmark):
+    """Greedy vs exact Equation 2 on a batch of random small instances."""
+    def compare():
+        gaps = []
+        for seed in range(12):
+            rng = spawn_rng(seed, "fac-bench")
+            n_parties = int(rng.integers(3, 6))
+            n_experts = int(rng.integers(2, 4))
+            problem = FacilityLocationProblem(
+                mmd_costs=rng.random((n_parties, n_experts)),
+                existing=(0,),
+                candidates=tuple(range(1, n_experts)),
+                party_histograms=rng.dirichlet(np.ones(4), size=n_parties),
+                lam=float(rng.random() * 0.4),
+                mu=float(rng.random() * 0.4),
+            )
+            greedy = solve_greedy(problem)
+            exact = solve_exact(problem)
+            gaps.append(greedy.objective / max(exact.objective, 1e-9))
+        return gaps
+
+    gaps = benchmark.pedantic(compare, rounds=1, iterations=1)
+    artifact = (
+        "Ablation: facility-location greedy vs exact (Equation 2)\n"
+        f"  instances: {len(gaps)}\n"
+        f"  mean objective ratio (greedy/exact): {np.mean(gaps):.4f}\n"
+        f"  worst objective ratio:               {max(gaps):.4f}\n"
+    )
+    write_artifact("ablation_facility", artifact)
+    print("\n" + artifact)
+    assert max(gaps) < 1.3
+    assert min(gaps) >= 1.0 - 1e-9

@@ -1,0 +1,44 @@
+"""Table 1 (bottom) + Figures 3c / 5c / 7c: the CIFAR-10-C experiment.
+
+Weather corruption (fog) recurring across sliding windows.  The paper's
+qualitative findings at this scale: ShiftEx reaches the highest post-shift
+max accuracy, and — because the regime *recurs* — its expert pool stays
+compact at two experts (Fig. 7c), with parties gradually consolidating onto
+the weather expert.
+"""
+
+from benchmarks.conftest import (
+    assert_paper_shape,
+    full_dataset_artifact,
+    run_dataset_comparison,
+    write_artifact,
+)
+from repro.harness.comparison import expert_distribution_table
+
+
+def test_bench_table1_cifar10c(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_dataset_comparison("cifar10_c_sim"), rounds=1, iterations=1)
+
+    artifact = full_dataset_artifact(
+        result,
+        table_label="Table 1 (bottom): CIFAR-10-C — Drop / Time / Max per window",
+        convergence_label="Figure 3c: CIFAR-10-C convergence",
+        max_label="Figure 5c: CIFAR-10-C max accuracy per window",
+        expert_label="Figure 7c: CIFAR-10-C expert distribution",
+    )
+    write_artifact("table1_cifar10c", artifact)
+    print("\n" + artifact)
+
+    assert_paper_shape(result, min_windows_shiftex_leads=2, margin=1.0)
+
+    # Fig. 7c shape: a compact two-expert configuration with parties
+    # migrating toward the weather expert over windows.
+    history = expert_distribution_table(result)
+    live_final = {e for e, n in history[-1].items() if n > 0}
+    assert len(live_final) <= 3, "recurring regime must not proliferate experts"
+    if len(history) >= 3 and len(live_final) >= 2:
+        weather_expert = max(history[-1], key=history[-1].get)
+        share_mid = history[2].get(weather_expert, 0)
+        share_end = history[-1].get(weather_expert, 0)
+        assert share_end >= share_mid, "parties consolidate onto the weather expert"

@@ -1,0 +1,43 @@
+"""Table 2 (bottom) + Figures 4b / 6b / 8b: the Fashion-MNIST experiment.
+
+Repeating transform shifts (rotation recurs three times) with label shift on
+sliding windows — the paper's cyclical "jump, re-consolidate, redistribute"
+pattern (Fig. 8b), which exercises both fresh specialization and expert
+reuse.
+"""
+
+from benchmarks.conftest import (
+    assert_paper_shape,
+    full_dataset_artifact,
+    run_dataset_comparison,
+    write_artifact,
+)
+from repro.harness.comparison import expert_distribution_table
+
+
+def test_bench_table2_fashionmnist(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_dataset_comparison("fashion_mnist_sim"), rounds=1, iterations=1)
+
+    artifact = full_dataset_artifact(
+        result,
+        table_label="Table 2 (bottom): Fashion-MNIST — Drop / Time / Max per window",
+        convergence_label="Figure 4b: Fashion-MNIST convergence",
+        max_label="Figure 6b: Fashion-MNIST max accuracy per window",
+        expert_label="Figure 8b: Fashion-MNIST expert distribution",
+    )
+    write_artifact("table2_fashionmnist", artifact)
+    print("\n" + artifact)
+
+    assert_paper_shape(result, min_windows_shiftex_leads=2, margin=1.5)
+
+    # Reuse shape: the recurring rotation regime maps back onto an existing
+    # expert at least once across the run.
+    shiftex_run = result.runs["shiftex"][0]
+    strategy_logs = shiftex_run.state_log
+    assert strategy_logs[-1]["num_models"] >= 1
+    history = expert_distribution_table(result)
+    experts_ever = {e for dist in history for e, n in dist.items() if n > 0}
+    created = shiftex_run.state_log[-1]["experts_created"]
+    assert created <= len(history), "reuse should bound expert creation"
+    assert len(experts_ever) >= 2

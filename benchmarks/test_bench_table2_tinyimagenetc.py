@@ -1,0 +1,38 @@
+"""Table 2 (top) + Figures 3b / 5b / 7b: the Tiny-ImageNet-C experiment.
+
+A fresh corruption family arrives every tumbling window (contrast, blur,
+fog, pixelate, frost).  The paper's shape: baselines plateau while ShiftEx
+keeps absorbing new regimes; the expert pool grows across windows (Fig. 7b).
+"""
+
+from benchmarks.conftest import (
+    assert_paper_shape,
+    full_dataset_artifact,
+    run_dataset_comparison,
+    write_artifact,
+)
+from repro.harness.comparison import expert_distribution_table
+
+
+def test_bench_table2_tinyimagenetc(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_dataset_comparison("tiny_imagenet_c_sim"),
+        rounds=1, iterations=1)
+
+    artifact = full_dataset_artifact(
+        result,
+        table_label="Table 2 (top): Tiny-ImageNet-C — Drop / Time / Max per window",
+        convergence_label="Figure 3b: Tiny-ImageNet-C convergence",
+        max_label="Figure 5b: Tiny-ImageNet-C max accuracy per window",
+        expert_label="Figure 7b: Tiny-ImageNet-C expert distribution",
+    )
+    write_artifact("table2_tinyimagenetc", artifact)
+    print("\n" + artifact)
+
+    assert_paper_shape(result, min_windows_shiftex_leads=2, margin=1.5)
+
+    # Fig. 7b shape: the pool expands beyond the bootstrap expert as new
+    # corruption regimes arrive.
+    history = expert_distribution_table(result)
+    experts_seen = {e for dist in history for e, n in dist.items() if n > 0}
+    assert len(experts_seen) >= 3, "multiple regimes should spawn multiple experts"

@@ -1,0 +1,133 @@
+"""The expert lifecycle, step by step — with a TEE-protected variant.
+
+Walks through the aggregator-side machinery of Algorithm 2 on synthetic
+embeddings, without any training, so each mechanism is visible in isolation:
+
+1. registry bootstrap and latent-memory seeding;
+2. a new covariate regime arriving -> no memory match -> expert creation;
+3. the same regime recurring -> memory match -> expert *reuse*;
+4. two near-duplicate experts -> cosine + regime-gated *consolidation*;
+5. the facility-location view (Equation 2): exact vs greedy assignment;
+6. the same detection flow with embeddings sealed into the software enclave
+   (Section 5.3).
+
+Usage::
+
+    python examples/expert_lifecycle.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection import mmd
+from repro.experts import (
+    ExpertRegistry,
+    FacilityLocationProblem,
+    consolidate_experts,
+    match_cluster_to_expert,
+    solve_exact,
+    solve_greedy,
+)
+from repro.privacy import SecureReportChannel
+from repro.utils.rng import spawn_rng
+
+
+def regime_embeddings(rng, offset: float, n: int = 80, d: int = 16) -> np.ndarray:
+    return rng.normal(size=(n, d)) + offset
+
+
+def main() -> None:
+    rng = spawn_rng(0, "lifecycle")
+    epsilon, gamma = 0.35, 0.05
+
+    print("1. bootstrap: registry opens with one expert, memory seeded on the")
+    print("   clean regime")
+    registry = ExpertRegistry(memory_capacity=48)
+    params = [rng.normal(size=(20, 8)), rng.normal(size=(8,))]
+    clean = registry.create(params, window=0,
+                            embeddings=regime_embeddings(rng, 0.0), rng=rng)
+    clean.train_rounds, clean.samples_seen = 5, 400
+    print(f"   experts: {registry.ids()}\n")
+
+    print("2. window 1: a foggy regime arrives (embeddings translated)")
+    fog_cluster = regime_embeddings(rng, 4.0)
+    match = match_cluster_to_expert(fog_cluster, registry, epsilon, gamma)
+    print(f"   best MMD to existing memories: {match.score:.3f} "
+          f"(epsilon={epsilon}) -> matched={match.matched}")
+    fog = registry.create(params, window=1, embeddings=fog_cluster, rng=rng)
+    fog.train_rounds, fog.samples_seen = 3, 240
+    print(f"   created expert {fog.expert_id}; experts: {registry.ids()}\n")
+
+    print("3. window 2: the SAME foggy regime recurs")
+    fog_again = regime_embeddings(spawn_rng(1, "recur"), 4.0)
+    match = match_cluster_to_expert(fog_again, registry, epsilon, gamma)
+    print(f"   best MMD: {match.score:.3f} against expert {match.expert_id} "
+          f"-> reuse={match.matched} (no new expert, no retraining from scratch)\n")
+
+    print("4. consolidation: a near-duplicate of the fog expert appears")
+    duplicate = registry.create([p + 0.01 * rng.normal(size=p.shape)
+                                 for p in fog.params],
+                                window=2, embeddings=fog_again, rng=rng)
+    duplicate.train_rounds, duplicate.samples_seen = 1, 80
+    assignments = {0: clean.expert_id, 1: fog.expert_id, 2: duplicate.expert_id}
+    events = consolidate_experts(registry, tau=0.98, window=2, rng=rng,
+                                 assignments=assignments,
+                                 memory_epsilon=epsilon, gamma=gamma)
+    for event in events:
+        print(f"   merged experts {event.merged_ids} -> {event.new_id} "
+              f"(cosine {event.similarity:.4f}); party 2 now follows "
+              f"expert {assignments[2]}")
+    print(f"   experts after consolidation: {registry.ids()}\n")
+
+    print("5. Equation 2: facility-location assignment (exact vs greedy)")
+    live = registry.ids()
+    memories = {eid: registry.get(eid).memory.signature for eid in live}
+    parties = {
+        "stable-a": regime_embeddings(spawn_rng(2, "pa"), 0.0, n=40),
+        "stable-b": regime_embeddings(spawn_rng(3, "pb"), 0.0, n=40),
+        "foggy-c": regime_embeddings(spawn_rng(4, "pc"), 4.0, n=40),
+        "new-regime-d": regime_embeddings(spawn_rng(5, "pd"), -5.0, n=40),
+    }
+    columns = live + ["candidate-new"]
+    costs = np.zeros((len(parties), len(columns)))
+    for i, (name, embeddings) in enumerate(parties.items()):
+        for j, eid in enumerate(live):
+            costs[i, j] = mmd(embeddings, memories[eid], gamma)
+        # The candidate column models an expert specialized for the *new*
+        # regime: near-zero mismatch for the new-regime party, high for the
+        # parties whose regimes it would not serve.
+        costs[i, -1] = 0.05 if name == "new-regime-d" else 0.8
+    problem = FacilityLocationProblem(
+        mmd_costs=costs,
+        existing=tuple(range(len(live))),
+        candidates=(len(columns) - 1,),
+        party_histograms=np.full((len(parties), 4), 0.25),
+        lam=0.3, mu=0.1,
+    )
+    exact = solve_exact(problem)
+    greedy = solve_greedy(problem)
+    names = list(parties)
+    print(f"   exact : obj={exact.objective:.3f}  "
+          + ", ".join(f"{names[i]}->col{k}" for i, k in enumerate(exact.assignment)))
+    print(f"   greedy: obj={greedy.objective:.3f}  "
+          + ", ".join(f"{names[i]}->col{k}" for i, k in enumerate(greedy.assignment)))
+    print("   (the new-regime party opens the candidate column: that is the")
+    print("   lambda trade-off the modular pipeline approximates)\n")
+
+    print("6. TEE mode: the same detection with sealed embeddings (5.3)")
+    channel = SecureReportChannel(seed=7)
+    labels = spawn_rng(6, "y").integers(0, 4, 80)
+    base = regime_embeddings(spawn_rng(7, "tee"), 0.0)
+    channel.submit_profile(0, base, labels, rng)
+    stable_score = channel.submit_profile(
+        0, regime_embeddings(spawn_rng(8, "tee2"), 0.0), labels, rng, gamma=gamma)
+    shift_score = channel.submit_profile(
+        0, regime_embeddings(spawn_rng(9, "tee3"), 4.0), labels, rng, gamma=gamma)
+    print(f"   in-enclave delta_cov, stable window: {stable_score:.3f}")
+    print(f"   in-enclave delta_cov, shifted window: {shift_score:.3f}")
+    print("   the aggregator process never saw a raw embedding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Streaming ingestion + label-shift detection on a party device.
+
+The paper's parties run a stream engine (Kafka/Flink) that windows incoming
+records before local training (Sections 1, 3.2, 4).  This example shows that
+client-side pipeline in isolation:
+
+1. a record stream whose label distribution changes mid-stream (a disease-
+   prevalence change in the paper's healthcare example);
+2. tumbling-window segmentation via the stream engine;
+3. per-window label histograms and the JSD statistic of Algorithm 1;
+4. the calibrated threshold separating sampling noise from the true shift.
+
+Usage::
+
+    python examples/streaming_label_shift.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.images import ImageDomainSpec, SyntheticImageGenerator
+from repro.detection import bootstrap_jsd_null, jsd, threshold_from_null
+from repro.streaming import ArrayStreamSource, StreamEngine, TumblingWindowAssigner
+from repro.utils.rng import spawn_rng
+
+
+def main() -> None:
+    num_classes = 6
+    samples_per_window = 120
+    spec = ImageDomainSpec(num_classes=num_classes, image_size=8, channels=1,
+                           seed=5)
+    generator = SyntheticImageGenerator(spec)
+    rng = spawn_rng(0, "stream")
+
+    # Windows 0-2 follow a stable prior; windows 3-5 shift prevalence hard
+    # toward the last classes (label shift: P(Y) moves, P(X|Y) fixed).
+    stable_prior = np.array([0.30, 0.25, 0.20, 0.15, 0.05, 0.05])
+    shifted_prior = np.array([0.05, 0.05, 0.10, 0.20, 0.30, 0.30])
+    segments = []
+    for window in range(6):
+        prior = stable_prior if window < 3 else shifted_prior
+        segments.append(generator.sample_dataset(prior, samples_per_window, rng))
+
+    source = ArrayStreamSource(segments, segment_duration=60.0, jitter=0.5,
+                               rng=rng)
+    engine = StreamEngine(TumblingWindowAssigner(size=60.0))
+    for record in source:
+        engine.ingest(record)
+    batches = engine.advance_watermark(source.total_duration)
+    print(f"ingested {engine.records_ingested} records "
+          f"into {len(batches)} tumbling windows of 60s")
+
+    # Calibrate delta_label from the first window, as the bootstrap phase does.
+    null = bootstrap_jsd_null(batches[0].label_histogram(num_classes),
+                              samples_per_window, 300, spawn_rng(1, "null"))
+    delta_label = threshold_from_null(null, p_value=0.05)
+    print(f"calibrated delta_label = {delta_label:.4f} "
+          f"(95th percentile of the no-shift JSD null)\n")
+
+    print("window | top classes               | JSD vs prev | shift?")
+    previous = None
+    for batch in batches:
+        histogram = batch.label_histogram(num_classes)
+        top = np.argsort(histogram)[::-1][:2]
+        top_text = ", ".join(f"class {c} ({histogram[c]:.2f})" for c in top)
+        if previous is None:
+            print(f"  W{batch.window_id}   | {top_text:26s} |     -      |   -")
+        else:
+            score = jsd(histogram, previous)
+            flag = "SHIFT" if score > delta_label else "stable"
+            print(f"  W{batch.window_id}   | {top_text:26s} |   {score:.4f}   "
+                  f"| {flag}")
+        previous = histogram
+
+    print("\nWindows 1-2 stay under the threshold (sampling noise only);")
+    print("window 3 crosses it the moment prevalence changes — that is the")
+    print("signal a party transmits to the ShiftEx aggregator (Algorithm 1).")
+
+
+if __name__ == "__main__":
+    main()

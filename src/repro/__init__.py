@@ -1,0 +1,28 @@
+"""ShiftEx reproduction: shift-aware mixture-of-experts continual FL.
+
+Reproduces "Shift Happens: Mixture of Experts based Continual Adaptation in
+Federated Learning" (Bhope et al., Middleware 2025) as a self-contained
+Python library: a numpy neural-network substrate, synthetic shifted federated
+datasets, a streaming/windowing engine, MMD/JSD shift detection, the ShiftEx
+expert-management core, four comparison baselines, and an experiment harness
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.harness import run_comparison, render_drop_time_max_table
+    result = run_comparison("cifar10_c_sim", profile="ci", seeds=(0,))
+    print(render_drop_time_max_table(result, title="CIFAR-10-C (simulated)"))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import ShiftExConfig, ShiftExStrategy
+from repro.harness import run_comparison, run_strategy
+
+__all__ = [
+    "ShiftExConfig",
+    "ShiftExStrategy",
+    "run_comparison",
+    "run_strategy",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``compare``  — run strategies over a simulated dataset and print the paper-
+  style Drop/Time/Max table (optionally saving JSON results per run);
+* ``datasets`` — list the simulated datasets and their shift schedules;
+* ``inspect``  — show a dataset spec's schedule window by window.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.data.registry import build_shift_schedule, dataset_names, get_dataset_spec
+from repro.harness import run_comparison, render_drop_time_max_table
+from repro.harness.comparison import (
+    PAPER_METHODS,
+    default_strategies,
+    expert_distribution_table,
+    render_expert_distribution,
+)
+from repro.utils.serialization import save_run_result
+
+
+def cmd_datasets(_args) -> int:
+    print(f"{'name':22s} {'paper dataset':16s} {'parties':>7s} {'windows':>7s} "
+          f"{'windowing':>9s} {'label shift':>11s}")
+    for name in dataset_names():
+        spec = get_dataset_spec(name)
+        print(f"{name:22s} {spec.paper_name:16s} {spec.num_parties:7d} "
+              f"{spec.num_windows:7d} {spec.windowing:>9s} "
+              f"{'yes' if spec.label_shift else 'no':>11s}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    spec = get_dataset_spec(args.dataset)
+    schedule = build_shift_schedule(spec)
+    print(f"{spec.name} ({spec.paper_name}): {spec.num_parties} parties, "
+          f"{spec.num_classes} classes, {spec.windowing} windows, "
+          f"model={spec.model_name}")
+    for window in range(spec.num_windows):
+        if window == 0:
+            regime = "clean burn-in"
+        else:
+            corruption, severity = spec.window_regimes[window - 1]
+            regime = f"{corruption} (severity {severity})"
+        shifted = len(schedule.parties_shifted_at(window))
+        regimes = len(schedule.distinct_regimes_up_to(window))
+        print(f"  W{window}: {regime:28s} shifted parties: {shifted:3d}   "
+              f"distinct regimes so far: {regimes}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    methods = tuple(args.methods) if args.methods else PAPER_METHODS
+    unknown = set(methods) - set(PAPER_METHODS)
+    if unknown:
+        print(f"unknown methods: {sorted(unknown)}; "
+              f"available: {PAPER_METHODS}", file=sys.stderr)
+        return 2
+    strategies = default_strategies(methods)
+    seeds = tuple(args.seeds)
+    print(f"running {list(methods)} on {args.dataset} "
+          f"(profile={args.profile}, seeds={seeds}) ...", flush=True)
+    result = run_comparison(args.dataset, strategies, profile=args.profile,
+                            seeds=seeds)
+    print()
+    print(render_drop_time_max_table(
+        result, title=f"{args.dataset}: Drop / Recovery Time / Max Accuracy"))
+    if "shiftex" in result.runs:
+        print("\nShiftEx expert dynamics:")
+        print(render_expert_distribution(expert_distribution_table(result)))
+    if args.output_dir:
+        out = Path(args.output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, runs in result.runs.items():
+            for run in runs:
+                path = out / f"{args.dataset}_{name}_seed{run.seed}.json"
+                save_run_result(path, run)
+        print(f"\nper-run JSON written to {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ShiftEx reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = subparsers.add_parser(
+        "datasets", help="list the simulated datasets")
+    p_datasets.set_defaults(func=cmd_datasets)
+
+    p_inspect = subparsers.add_parser(
+        "inspect", help="show a dataset's shift schedule")
+    p_inspect.add_argument("dataset", choices=dataset_names())
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_compare = subparsers.add_parser(
+        "compare", help="run strategies on a dataset and print the table")
+    p_compare.add_argument("dataset", choices=dataset_names())
+    p_compare.add_argument("--profile", default="ci",
+                           choices=("ci", "small", "paper"))
+    p_compare.add_argument("--methods", nargs="*", metavar="METHOD",
+                           help=f"subset of {PAPER_METHODS} (default: all)")
+    p_compare.add_argument("--seeds", nargs="*", type=int, default=[0])
+    p_compare.add_argument("--output-dir", default=None,
+                           help="write per-run JSON results here")
+    p_compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Comparative FL techniques (paper Section 6, "Comparative Techniques").
+
+* :class:`~repro.baselines.fedavg.FedAvgStrategy` — plain FedAvg (reference).
+* :class:`~repro.baselines.fedprox.FedProxStrategy` — FedAvg + proximal term;
+  one global model, no shift awareness.
+* :class:`~repro.baselines.oort.OortStrategy` — utility-guided participant
+  selection; assumes static utility, so it underreacts to shifts.
+* :class:`~repro.baselines.fielding.FieldingStrategy` — label-distribution
+  clustering with per-cluster models; adapts to label drift but is blind to
+  covariate shift.
+* :class:`~repro.baselines.feddrift.FedDriftStrategy` — loss-pattern drift
+  detection with multiple models; coarse adaptation, no explicit
+  covariate/label modelling.
+"""
+
+from repro.baselines.fedavg import FedAvgStrategy
+from repro.baselines.fedprox import FedProxStrategy
+from repro.baselines.oort import OortStrategy
+from repro.baselines.fielding import FieldingStrategy
+from repro.baselines.feddrift import FedDriftStrategy
+
+BASELINE_NAMES = ("fedavg", "fedprox", "oort", "fielding", "feddrift")
+
+
+def build_baseline(name: str, **kwargs):
+    """Construct a baseline strategy by name."""
+    registry = {
+        "fedavg": FedAvgStrategy,
+        "fedprox": FedProxStrategy,
+        "oort": OortStrategy,
+        "fielding": FieldingStrategy,
+        "feddrift": FedDriftStrategy,
+    }
+    if name not in registry:
+        raise KeyError(f"unknown baseline '{name}'; available: {sorted(registry)}")
+    return registry[name](**kwargs)
+
+
+__all__ = [
+    "FedAvgStrategy",
+    "FedProxStrategy",
+    "OortStrategy",
+    "FieldingStrategy",
+    "FedDriftStrategy",
+    "BASELINE_NAMES",
+    "build_baseline",
+]

@@ -1,0 +1,58 @@
+"""Plain FedAvg: one global model, uniform participant selection."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.federation.rounds import run_fl_round
+from repro.federation.strategy import ContinualStrategy, StrategyContext
+from repro.utils.params import Params
+
+
+class FedAvgStrategy(ContinualStrategy):
+    """Single global model, uniform random selection (McMahan et al., 2017)."""
+
+    name = "fedavg"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._global: Params | None = None
+
+    def setup(self, ctx: StrategyContext) -> None:
+        super().setup(ctx)
+        self._global = ctx.model_factory().get_params()
+
+    @property
+    def global_params(self) -> Params:
+        if self._global is None:
+            raise RuntimeError("strategy not set up")
+        return self._global
+
+    def _select(self, window: int, round_index: int) -> list[int]:
+        ctx = self.context
+        rng = ctx.rng("select", self.name, window, round_index)
+        ids = sorted(ctx.parties)
+        k = min(ctx.round_config.participants_per_round, len(ids))
+        return [int(p) for p in rng.choice(ids, size=k, replace=False)]
+
+    def _local_config(self):
+        return replace(self.context.round_config.local, prox_mu=0.0)
+
+    def run_round(self, window: int, round_index: int) -> None:
+        ctx = self.context
+        participants = self._select(window, round_index)
+        config = replace(ctx.round_config, local=self._local_config())
+        new_params, _stats = run_fl_round(
+            ctx.parties, participants, self.global_params, config,
+            round_tag=(window, round_index),
+        )
+        self._global = new_params
+        num_params = sum(p.size for p in new_params)
+        ctx.ledger.record_model_download(num_params, len(participants))
+        ctx.ledger.record_model_upload(num_params, len(participants))
+
+    def params_for_party(self, party_id: int) -> Params:
+        return self.global_params
+
+    def describe_state(self) -> dict:
+        return {"num_models": 1}

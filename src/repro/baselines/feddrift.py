@@ -1,0 +1,160 @@
+"""FedDrift (Jothimurugesan et al., 2023): loss-clustered multi-model FL.
+
+Server keeps a pool of models.  At each window boundary every party
+evaluates the whole pool on its fresh local data; a party whose best loss is
+within ``delta`` of its previous loss keeps its model, otherwise it is
+flagged as drifted.  Drifted parties form one new model per window (cloned
+from a fresh initialization) — the paper characterizes this as "coarse
+adaptation": there is no covariate/label distinction, no regime memory, and
+models are merged only when their cohorts find them interchangeable
+(cross-loss within ``delta``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federation.rounds import run_fl_round
+from repro.federation.strategy import ContinualStrategy, StrategyContext
+from repro.utils.params import Params
+
+
+class FedDriftStrategy(ContinualStrategy):
+    """Multiple global models, drift detection via local loss patterns."""
+
+    name = "feddrift"
+
+    def __init__(self, delta: float = 0.5, max_models: int = 8,
+                 merge_check_parties: int = 6) -> None:
+        super().__init__()
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if max_models < 1:
+            raise ValueError("max_models must be at least 1")
+        self.delta = delta
+        self.max_models = max_models
+        self.merge_check_parties = merge_check_parties
+        self._models: dict[int, Params] = {}
+        self._membership: dict[int, int] = {}
+        self._next_model_id = 0
+        self._prev_best_loss: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ life cycle
+
+    def setup(self, ctx: StrategyContext) -> None:
+        super().setup(ctx)
+        self._models = {0: ctx.model_factory().get_params()}
+        self._next_model_id = 1
+        self._membership = {pid: 0 for pid in ctx.parties}
+        self._prev_best_loss = {}
+
+    def end_window(self, window: int) -> None:
+        """Record each party's post-training best loss as the drift baseline."""
+        ctx = self.context
+        for pid, party in ctx.parties.items():
+            losses = [party.loss_on(params, split="train")
+                      for params in self._models.values()]
+            self._prev_best_loss[pid] = float(min(losses))
+
+    def start_window(self, window: int) -> None:
+        ctx = self.context
+        if window == 0:
+            return
+        drifted: list[int] = []
+        for pid, party in ctx.parties.items():
+            losses = {mid: party.loss_on(params, split="train")
+                      for mid, params in self._models.items()}
+            best_mid = min(losses, key=losses.get)
+            best_loss = losses[best_mid]
+            reference = self._prev_best_loss.get(pid, best_loss)
+            if best_loss > reference + self.delta:
+                drifted.append(pid)
+            else:
+                self._membership[pid] = best_mid
+                self._prev_best_loss[pid] = best_loss
+        if drifted and len(self._models) < self.max_models:
+            new_id = self._next_model_id
+            self._next_model_id += 1
+            self._models[new_id] = ctx.model_factory().get_params()
+            for pid in drifted:
+                self._membership[pid] = new_id
+                self._prev_best_loss.pop(pid, None)
+        elif drifted:
+            # Pool is full: drifted parties go to their least-bad model.
+            for pid in drifted:
+                losses = {mid: ctx.parties[pid].loss_on(params, split="train")
+                          for mid, params in self._models.items()}
+                self._membership[pid] = min(losses, key=losses.get)
+        self._maybe_merge(window)
+
+    def _maybe_merge(self, window: int) -> None:
+        """Merge two models when each cohort finds the other interchangeable."""
+        ctx = self.context
+        model_ids = sorted(self._models)
+        rng = ctx.rng("feddrift-merge", window)
+        for i, mid_a in enumerate(model_ids):
+            for mid_b in model_ids[i + 1:]:
+                if mid_a not in self._models or mid_b not in self._models:
+                    continue
+                cohort_a = [p for p, m in self._membership.items() if m == mid_a]
+                cohort_b = [p for p, m in self._membership.items() if m == mid_b]
+                if not cohort_a or not cohort_b:
+                    continue
+                probe_a = [int(p) for p in rng.choice(
+                    cohort_a, size=min(self.merge_check_parties, len(cohort_a)),
+                    replace=False)]
+                probe_b = [int(p) for p in rng.choice(
+                    cohort_b, size=min(self.merge_check_parties, len(cohort_b)),
+                    replace=False)]
+                gap_a = np.mean([
+                    ctx.parties[p].loss_on(self._models[mid_b], "train")
+                    - ctx.parties[p].loss_on(self._models[mid_a], "train")
+                    for p in probe_a
+                ])
+                gap_b = np.mean([
+                    ctx.parties[p].loss_on(self._models[mid_a], "train")
+                    - ctx.parties[p].loss_on(self._models[mid_b], "train")
+                    for p in probe_b
+                ])
+                if gap_a < self.delta and gap_b < self.delta:
+                    merged = [
+                        0.5 * (pa + pb)
+                        for pa, pb in zip(self._models[mid_a], self._models[mid_b])
+                    ]
+                    self._models[mid_a] = merged
+                    del self._models[mid_b]
+                    for pid, mid in self._membership.items():
+                        if mid == mid_b:
+                            self._membership[pid] = mid_a
+
+    # ------------------------------------------------------------------ rounds
+
+    def run_round(self, window: int, round_index: int) -> None:
+        ctx = self.context
+        total_budget = ctx.round_config.participants_per_round
+        cohorts = {mid: [p for p, m in self._membership.items() if m == mid]
+                   for mid in self._models}
+        cohorts = {mid: members for mid, members in cohorts.items() if members}
+        n_parties = sum(len(m) for m in cohorts.values())
+        for mid, members in cohorts.items():
+            k = max(1, int(round(total_budget * len(members) / n_parties)))
+            k = min(k, len(members))
+            rng = ctx.rng("feddrift-select", window, round_index, mid)
+            participants = [int(p) for p in rng.choice(members, size=k, replace=False)]
+            new_params, _stats = run_fl_round(
+                ctx.parties, participants, self._models[mid],
+                ctx.round_config, round_tag=(window, round_index, mid),
+            )
+            self._models[mid] = new_params
+            num_params = sum(p.size for p in new_params)
+            ctx.ledger.record_model_download(num_params, len(participants))
+            ctx.ledger.record_model_upload(num_params, len(participants))
+
+    def params_for_party(self, party_id: int) -> Params:
+        mid = self._membership.get(party_id)
+        if mid is None or mid not in self._models:
+            return next(iter(self._models.values()))
+        return self._models[mid]
+
+    def describe_state(self) -> dict:
+        return {"num_models": len(self._models)}

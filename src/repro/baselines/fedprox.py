@@ -1,0 +1,28 @@
+"""FedProx (Li et al., 2020): FedAvg with a proximal local objective.
+
+The proximal term ``(mu/2)||w - w_global||^2`` stabilizes local training on
+non-IID data but the strategy still maintains one global model with no shift
+detection or adaptation — the paper's canonical "brittle under shift"
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines.fedavg import FedAvgStrategy
+
+
+class FedProxStrategy(FedAvgStrategy):
+    """FedAvg aggregation + proximal term in every party's local objective."""
+
+    name = "fedprox"
+
+    def __init__(self, prox_mu: float = 0.01) -> None:
+        super().__init__()
+        if prox_mu < 0:
+            raise ValueError("prox_mu must be non-negative")
+        self.prox_mu = prox_mu
+
+    def _local_config(self):
+        return replace(self.context.round_config.local, prox_mu=self.prox_mu)

@@ -1,0 +1,136 @@
+"""Fielding (Li et al., 2024): label-distribution clustering with adaptation.
+
+Parties are clustered by their label histograms; each cluster trains its own
+model via FedAvg over cluster members.  When a party's label distribution
+moves (JSD above a re-cluster threshold), the affected parties are
+re-assigned to the nearest cluster and clusters are periodically re-fit —
+the "adaptation to data drifts" of the original system.  Crucially the
+clustering key is the *label* histogram only: covariate shifts leave label
+histograms untouched, so Fielding keeps training on shifted inputs with
+unshifted cluster structure, which is exactly the failure mode the paper
+reports for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.divergence import jsd
+from repro.federation.rounds import run_fl_round
+from repro.federation.strategy import ContinualStrategy, StrategyContext
+from repro.flips.selector import FlipsSelector
+from repro.utils.params import Params
+
+
+class FieldingStrategy(ContinualStrategy):
+    """Per-label-cluster models with JSD-triggered re-clustering."""
+
+    name = "fielding"
+
+    def __init__(self, recluster_jsd: float = 0.15, max_clusters: int = 4) -> None:
+        super().__init__()
+        if recluster_jsd < 0:
+            raise ValueError("recluster_jsd must be non-negative")
+        if max_clusters <= 0:
+            raise ValueError("max_clusters must be positive")
+        self.recluster_jsd = recluster_jsd
+        self.max_clusters = max_clusters
+        self._cluster_models: dict[int, Params] = {}
+        self._membership: dict[int, int] = {}  # party -> cluster
+        self._cluster_histograms: dict[int, np.ndarray] = {}
+        self._last_histograms: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ clustering
+
+    def _fit_clusters(self, window: int) -> None:
+        ctx = self.context
+        histograms = {pid: party.label_histogram()
+                      for pid, party in ctx.parties.items()}
+        selector = FlipsSelector(max_clusters=self.max_clusters)
+        selector.fit(histograms, ctx.rng("fielding-cluster", window))
+        clusters = selector.clusters
+        old_models = self._cluster_models
+        self._cluster_models = {}
+        self._membership = {}
+        self._cluster_histograms = {}
+        for cluster_id, members in clusters.items():
+            for pid in members:
+                self._membership[pid] = cluster_id
+            mean_hist = np.mean([histograms[pid] for pid in members], axis=0)
+            self._cluster_histograms[cluster_id] = mean_hist / mean_hist.sum()
+            # Warm-start from the closest previous model when one exists.
+            if old_models:
+                self._cluster_models[cluster_id] = next(iter(old_models.values()))
+                self._cluster_models[cluster_id] = [
+                    p.copy() for p in self._cluster_models[cluster_id]
+                ]
+            else:
+                self._cluster_models[cluster_id] = ctx.model_factory().get_params()
+        self._last_histograms = histograms
+
+    def setup(self, ctx: StrategyContext) -> None:
+        super().setup(ctx)
+        self._cluster_models = {}
+        self._membership = {}
+
+    def start_window(self, window: int) -> None:
+        ctx = self.context
+        if not self._cluster_models:
+            self._fit_clusters(window)
+            return
+        # Re-cluster only when label histograms actually moved: covariate
+        # shift is invisible here.
+        moved = 0
+        for pid, party in ctx.parties.items():
+            new_hist = party.label_histogram()
+            old_hist = self._last_histograms.get(pid)
+            if old_hist is not None and jsd(new_hist, old_hist) > self.recluster_jsd:
+                moved += 1
+        if moved > 0:
+            self._fit_clusters(window)
+        else:
+            self._last_histograms = {
+                pid: party.label_histogram() for pid, party in ctx.parties.items()
+            }
+
+    # ------------------------------------------------------------------ rounds
+
+    def _budget_split(self) -> dict[int, int]:
+        """Split the participant budget across clusters by cohort size."""
+        ctx = self.context
+        total = ctx.round_config.participants_per_round
+        sizes = {c: sum(1 for p in self._membership.values() if p == c)
+                 for c in self._cluster_models}
+        sizes = {c: s for c, s in sizes.items() if s > 0}
+        n_parties = sum(sizes.values())
+        budget = {c: max(1, int(round(total * s / n_parties))) for c, s in sizes.items()}
+        return budget
+
+    def run_round(self, window: int, round_index: int) -> None:
+        ctx = self.context
+        budget = self._budget_split()
+        for cluster_id, k in budget.items():
+            members = [p for p, c in self._membership.items() if c == cluster_id]
+            if not members:
+                continue
+            rng = ctx.rng("fielding-select", window, round_index, cluster_id)
+            k = min(k, len(members))
+            participants = [int(p) for p in rng.choice(members, size=k, replace=False)]
+            new_params, _stats = run_fl_round(
+                ctx.parties, participants, self._cluster_models[cluster_id],
+                ctx.round_config, round_tag=(window, round_index, cluster_id),
+            )
+            self._cluster_models[cluster_id] = new_params
+            num_params = sum(p.size for p in new_params)
+            ctx.ledger.record_model_download(num_params, len(participants))
+            ctx.ledger.record_model_upload(num_params, len(participants))
+
+    def params_for_party(self, party_id: int) -> Params:
+        cluster_id = self._membership.get(party_id)
+        if cluster_id is None or cluster_id not in self._cluster_models:
+            # Not yet clustered: fall back to any model.
+            return next(iter(self._cluster_models.values()))
+        return self._cluster_models[cluster_id]
+
+    def describe_state(self) -> dict:
+        return {"num_models": len(self._cluster_models)}

@@ -1,0 +1,45 @@
+"""Davies–Bouldin cluster-validity index (Davies & Bouldin, 1979).
+
+Lower is better.  For each cluster the index takes the worst-case ratio of
+within-cluster scatter sums to between-centroid separation, then averages
+across clusters.  The paper uses this index (with an elbow criterion) to
+choose how many covariate clusters — and hence candidate experts — to form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+def davies_bouldin_index(x: np.ndarray, labels: np.ndarray) -> float:
+    """Davies–Bouldin index of a labelled clustering.
+
+    Returns 0.0 for a single cluster (degenerate but defined: no pairs to
+    compare) and for perfectly tight, well-separated clusterings.
+    """
+    x = check_2d(x, "x")
+    labels = np.asarray(labels)
+    if labels.shape != (x.shape[0],):
+        raise ValueError("labels must align with rows of x")
+    clusters = np.unique(labels)
+    k = clusters.size
+    if k < 2:
+        return 0.0
+
+    centroids = np.stack([x[labels == c].mean(axis=0) for c in clusters])
+    scatters = np.array([
+        float(np.linalg.norm(x[labels == c] - centroids[i], axis=1).mean())
+        for i, c in enumerate(clusters)
+    ])
+    separations = np.linalg.norm(centroids[:, None, :] - centroids[None, :, :], axis=2)
+
+    index = 0.0
+    for i in range(k):
+        ratios = [
+            (scatters[i] + scatters[j]) / max(separations[i, j], 1e-12)
+            for j in range(k) if j != i
+        ]
+        index += max(ratios)
+    return float(index / k)

@@ -1,0 +1,106 @@
+"""K-means with k-means++ seeding and Lloyd iterations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+@dataclass
+class KMeansResult:
+    """Clustering outcome: assignments, centroids, inertia, iterations."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.centroids.shape[0])
+
+    def members(self, cluster: int) -> np.ndarray:
+        return np.nonzero(self.labels == cluster)[0]
+
+
+def _kmeans_pp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = x.shape[0]
+    centroids = np.empty((k, x.shape[1]))
+    first = int(rng.integers(n))
+    centroids[0] = x[first]
+    closest_d2 = ((x - centroids[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = closest_d2.sum()
+        if total <= 1e-18:
+            # All remaining points coincide with a centroid; pick uniformly.
+            idx = int(rng.integers(n))
+        else:
+            idx = int(rng.choice(n, p=closest_d2 / total))
+        centroids[j] = x[idx]
+        d2 = ((x - centroids[j]) ** 2).sum(axis=1)
+        closest_d2 = np.minimum(closest_d2, d2)
+    return centroids
+
+
+def kmeans(x: np.ndarray, k: int, rng: np.random.Generator,
+           max_iter: int = 100, tol: float = 1e-6, n_init: int = 3) -> KMeansResult:
+    """Cluster rows of ``x`` into ``k`` groups; best of ``n_init`` restarts.
+
+    Empty clusters are re-seeded with the point farthest from its centroid,
+    so the result always has exactly ``k`` non-empty clusters when
+    ``k <= n_samples``.
+    """
+    x = check_2d(x, "x")
+    n = x.shape[0]
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > n:
+        raise ValueError(f"k={k} exceeds number of samples {n}")
+    if n_init <= 0:
+        raise ValueError("n_init must be positive")
+
+    best: KMeansResult | None = None
+    for _restart in range(n_init):
+        centroids = _kmeans_pp_init(x, k, rng)
+        labels = np.zeros(n, dtype=int)
+        iterations = 0
+        for iteration in range(1, max_iter + 1):
+            iterations = iteration
+            d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            labels = d2.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for j in range(k):
+                members = x[labels == j]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the worst-fit point.
+                    worst = int(d2[np.arange(n), labels].argmax())
+                    new_centroids[j] = x[worst]
+                    labels[worst] = j
+                else:
+                    new_centroids[j] = members.mean(axis=0)
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            if shift < tol:
+                break
+        d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        # Guarantee exactly k non-empty clusters even on degenerate inputs
+        # (duplicate points tie on distance and argmin collapses clusters).
+        for j in range(k):
+            if not np.any(labels == j):
+                donor_clusters = np.flatnonzero(np.bincount(labels, minlength=k) > 1)
+                candidates = np.flatnonzero(np.isin(labels, donor_clusters))
+                worst = candidates[d2[candidates, labels[candidates]].argmax()]
+                labels[worst] = j
+                centroids[j] = x[worst]
+        inertia = float(d2[np.arange(n), labels].sum())
+        result = KMeansResult(labels=labels, centroids=centroids,
+                              inertia=inertia, iterations=iterations)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,58 @@
+"""Choosing the number of covariate clusters.
+
+The paper determines the optimal k "using the Davies–Bouldin index ...
+applying the Davies–Bouldin Index with the elbow method to determine when
+creating additional clusters (and thus new experts) is justified"
+(Sections 5.2.1–5.2.2).  We scan k = 1..k_max, score each clustering with
+the DB index, and stop growing k when the relative improvement falls below
+an elbow tolerance — penalizing unnecessary expert proliferation without a
+hand-tuned lambda.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.davies_bouldin import davies_bouldin_index
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.utils.validation import check_2d
+
+
+def select_num_clusters(x: np.ndarray, rng: np.random.Generator,
+                        k_max: int = 6, elbow_tolerance: float = 0.10,
+                        ) -> tuple[int, KMeansResult, dict[int, float]]:
+    """Pick k by Davies–Bouldin + elbow; return (k, clustering, scores).
+
+    Single-cluster degenerate inputs (near-identical rows) return k = 1.
+    ``elbow_tolerance`` is the minimum relative DB-index improvement required
+    to accept a larger k.
+    """
+    x = check_2d(x, "x")
+    n = x.shape[0]
+    k_max = max(1, min(k_max, n))
+    results: dict[int, KMeansResult] = {}
+    scores: dict[int, float] = {}
+
+    spread = float(np.linalg.norm(x - x.mean(axis=0), axis=1).mean())
+    if n == 1 or spread < 1e-9:
+        result = kmeans(x, 1, rng)
+        return 1, result, {1: 0.0}
+
+    for k in range(1, k_max + 1):
+        result = kmeans(x, k, rng)
+        results[k] = result
+        if k == 1:
+            # Normalized scatter of the single cluster, so k=1 competes on the
+            # same scale as DB indices of k >= 2.
+            scores[k] = 1.0
+        else:
+            scores[k] = davies_bouldin_index(x, result.labels)
+
+    best_k = 1
+    best_score = scores[1]
+    for k in range(2, k_max + 1):
+        improvement = (best_score - scores[k]) / max(best_score, 1e-12)
+        if improvement > elbow_tolerance:
+            best_k = k
+            best_score = scores[k]
+    return best_k, results[best_k], scores

@@ -1,0 +1,22 @@
+"""ShiftEx: the paper's shift-aware mixture-of-experts framework.
+
+* :class:`~repro.core.config.ShiftExConfig` — all knobs (thresholds, epsilon,
+  tau, gamma, latent-memory and FLIPS parameters);
+* :mod:`~repro.core.detector` — party-side shift detection (Algorithm 1);
+* :class:`~repro.core.server.ShiftExStrategy` — aggregator-side orchestration
+  (Algorithm 2): threshold calibration, shifted-party clustering, latent
+  memory matching, expert creation/update with FLIPS, local fine-tuning for
+  small clusters, and expert consolidation.
+"""
+
+from repro.core.config import ShiftExConfig
+from repro.core.detector import PartyLocalState, PartyShiftReport, compute_party_report
+from repro.core.server import ShiftExStrategy
+
+__all__ = [
+    "ShiftExConfig",
+    "PartyLocalState",
+    "PartyShiftReport",
+    "compute_party_report",
+    "ShiftExStrategy",
+]

@@ -1,0 +1,478 @@
+"""ShiftEx aggregator-side orchestration (Algorithm 2).
+
+Window life cycle:
+
+* ``start_window(0)`` — bootstrap: fit FLIPS on party label histograms.
+* ``run_round(0, r)`` — train the single bootstrap expert with FLIPS-balanced
+  participant selection.
+* ``end_window(0)`` — freeze the encoder (the trained bootstrap model), seed
+  expert 0's latent memory, calibrate ``delta_cov`` / ``delta_label`` from
+  bootstrap null distributions, snapshot party statistics.
+* ``start_window(w >= 1)`` — Algorithm 2's shift response: collect party
+  reports (Algorithm 1), threshold them into the shifted set, K-means the
+  shifted parties on latent centroids (Davies–Bouldin-selected k), then per
+  cluster: latent-memory match -> reuse expert, else clone the bootstrap
+  model into a new expert; clusters smaller than ``gamma`` fine-tune locally
+  instead.  Finally, consolidate experts whose parameters exceed cosine
+  similarity ``tau``.
+* ``run_round(w, r)`` — each expert trains on its cohort with FLIPS-balanced
+  selection under a shared participant budget.
+* ``end_window(w)`` — update expert memories with cohort embeddings and
+  snapshot party statistics for the next window's deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ShiftExConfig
+from repro.core.detector import PartyLocalState, PartyShiftReport, compute_party_report
+from repro.clustering.selection import select_num_clusters
+from repro.detection.calibration import CalibratedThresholds, ThresholdCalibrator
+from repro.experts.consolidation import consolidate_experts
+from repro.experts.matching import match_cluster_to_expert
+from repro.experts.registry import ExpertRegistry
+from repro.federation.rounds import run_fl_round
+from repro.federation.strategy import ContinualStrategy, StrategyContext
+from repro.flips.selector import FlipsSelector
+from repro.utils.params import Params
+
+
+def split_budget(cohort_sizes: dict[int, int], total: int) -> dict[int, int]:
+    """Split a participant budget across cohorts proportionally (min 1 each)."""
+    sizes = {k: s for k, s in cohort_sizes.items() if s > 0}
+    if not sizes:
+        return {}
+    n = sum(sizes.values())
+    budget = {k: max(1, int(round(total * s / n))) for k, s in sizes.items()}
+    return {k: min(b, sizes[k]) for k, b in budget.items()}
+
+
+class ShiftExStrategy(ContinualStrategy):
+    """The paper's shift-aware mixture-of-experts framework."""
+
+    name = "shiftex"
+
+    def __init__(self, config: ShiftExConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else ShiftExConfig()
+        self.registry = ExpertRegistry(
+            memory_capacity=self.config.memory_capacity,
+            memory_eta=self.config.memory_eta,
+        )
+        self.assignments: dict[int, int] = {}
+        self._finetuned: dict[int, Params] = {}
+        self._encoder: Params | None = None
+        self._bootstrap_snapshot: Params | None = None
+        self.thresholds: CalibratedThresholds | None = None
+        self._epsilon: float | None = self.config.epsilon
+        self._party_state: dict[int, PartyLocalState] = {}
+        self._bootstrap_flips: FlipsSelector | None = None
+        self._cohort_flips: dict[int, FlipsSelector] = {}
+        self.shift_log: list[dict] = []
+        self.assignment_history: dict[int, dict[int, int]] = {}
+        self._adapting_experts: set[int] = set()
+
+    # ------------------------------------------------------------------ life cycle
+
+    def setup(self, ctx: StrategyContext) -> None:
+        super().setup(ctx)
+        theta0 = ctx.model_factory().get_params()
+        expert0 = self.registry.create(theta0, window=0, notes={"role": "bootstrap"})
+        self.assignments = {pid: expert0.expert_id for pid in ctx.parties}
+
+    # -------------------------------------------------- window 0 (bootstrap, 4.1)
+
+    def _fit_bootstrap_flips(self, window: int) -> None:
+        ctx = self.context
+        histograms = {pid: party.label_histogram()
+                      for pid, party in ctx.parties.items()}
+        self._bootstrap_flips = FlipsSelector(
+            max_clusters=self.config.flips_max_clusters
+        ).fit(histograms, ctx.rng("flips-bootstrap", window))
+
+    # -------------------------------------------------- detection (Alg. 1 driver)
+
+    def _collect_reports(self, window: int) -> dict[int, PartyShiftReport]:
+        ctx = self.context
+        assert self._encoder is not None
+        gamma = self.thresholds.gamma if self.thresholds is not None else None
+        reports: dict[int, PartyShiftReport] = {}
+        with ctx.profiler.phase("shift_detection"):
+            for pid, party in ctx.parties.items():
+                report, state = compute_party_report(
+                    party, self._encoder,
+                    self._party_state.get(pid),
+                    gamma=gamma,
+                    max_samples=self.config.embedding_samples,
+                )
+                reports[pid] = report
+                self._party_state[pid] = state
+        sample = next(iter(reports.values()))
+        ctx.ledger.record_statistics_upload(
+            embedding_rows=sample.embeddings.shape[0],
+            embedding_dim=sample.embeddings.shape[1],
+            num_classes=ctx.spec.num_classes,
+            num_parties=len(reports),
+        )
+        return reports
+
+    def _shifted_parties(self, reports: dict[int, PartyShiftReport]) -> list[int]:
+        assert self.thresholds is not None
+        shifted = []
+        for pid, report in reports.items():
+            cov = report.delta_cov > self.thresholds.delta_cov
+            label = (self.config.enable_label_detection
+                     and report.delta_label > self.thresholds.delta_label)
+            if cov or label:
+                shifted.append(pid)
+        return sorted(shifted)
+
+    # -------------------------------------------------- Algorithm 2 main body
+
+    def start_window(self, window: int) -> None:
+        ctx = self.context
+        self._finetuned = {}
+        self._cohort_flips = {}
+        self._adapting_experts = set()
+        if window == 0:
+            self._fit_bootstrap_flips(window)
+            self.assignment_history[0] = dict(self.assignments)
+            return
+        if self._encoder is None or self.thresholds is None:
+            raise RuntimeError("end_window(0) must run before later windows")
+
+        reports = self._collect_reports(window)
+        shifted = self._shifted_parties(reports)
+        window_log = {
+            "window": window,
+            "num_shifted": len(shifted),
+            "clusters": [],
+            "merges": 0,
+        }
+
+        if shifted:
+            centroids = np.stack([reports[pid].centroid for pid in shifted])
+            with ctx.profiler.phase("clustering"):
+                k_cap = min(self.config.k_max, len(shifted))
+                _k, clustering, _scores = select_num_clusters(
+                    centroids, ctx.rng("cluster", window), k_max=k_cap
+                )
+                groups = [
+                    [shifted[i] for i in clustering.members(cluster_index)]
+                    for cluster_index in range(clustering.num_clusters)
+                ]
+                groups = self._merge_same_regime_clusters(groups, reports)
+            for members in groups:
+                if not members:
+                    continue
+                if len(members) >= self.config.min_cluster_size:
+                    self._handle_large_cluster(window, members, reports, window_log)
+                else:
+                    self._handle_small_cluster(window, members, window_log)
+
+        if self.config.enable_consolidation and len(self.registry) >= 2:
+            with ctx.profiler.phase("consolidation"):
+                events = consolidate_experts(
+                    self.registry, self.config.tau, window,
+                    ctx.rng("consolidate", window), self.assignments,
+                    memory_epsilon=self._epsilon,
+                    gamma=self.thresholds.gamma if self.thresholds else None,
+                )
+            window_log["merges"] = len(events)
+            for event in events:
+                if self._adapting_experts & set(event.merged_ids):
+                    self._adapting_experts -= set(event.merged_ids)
+                    self._adapting_experts.add(event.new_id)
+
+        self._fit_cohort_flips(window)
+        self.shift_log.append(window_log)
+        self.assignment_history[window] = dict(self.assignments)
+
+    def _merge_same_regime_clusters(self, groups: list[list[int]],
+                                    reports: dict[int, PartyShiftReport],
+                                    ) -> list[list[int]]:
+        """Fuse K-means fragments that represent the same covariate regime.
+
+        Davies-Bouldin model selection can split one regime into several
+        clusters when the shifted set is small and noisy; by the system's own
+        standard, two clusters whose pooled embeddings are within the reuse
+        threshold epsilon describe the same regime and must share one expert.
+        Union-find over pairwise pooled MMD collapses such fragments.
+        """
+        groups = [g for g in groups if g]
+        if len(groups) < 2:
+            return groups
+        assert self._epsilon is not None
+        gamma = self.thresholds.gamma if self.thresholds is not None else None
+        pooled = [np.vstack([reports[pid].embeddings for pid in g]) for g in groups]
+        parent = list(range(len(groups)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        from repro.detection.mmd import class_conditional_mmd
+        pooled_labels = [np.concatenate([reports[pid].labels for pid in g])
+                         for g in groups]
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                score = class_conditional_mmd(pooled[i], pooled_labels[i],
+                                              pooled[j], pooled_labels[j], gamma)
+                if score <= self._epsilon:
+                    parent[find(j)] = find(i)
+        merged: dict[int, list[int]] = {}
+        for i, group in enumerate(groups):
+            merged.setdefault(find(i), []).extend(group)
+        return [sorted(g) for g in merged.values()]
+
+    def _handle_large_cluster(self, window: int, members: list[int],
+                              reports: dict[int, PartyShiftReport],
+                              window_log: dict) -> None:
+        """Match the cluster to an expert or create a new one (Alg. 2 l.13-26)."""
+        ctx = self.context
+        pooled = np.vstack([reports[pid].embeddings for pid in members])
+        pooled_labels = np.concatenate([reports[pid].labels for pid in members])
+        gamma = self.thresholds.gamma if self.thresholds is not None else None
+        assert self._epsilon is not None
+        matched_id: int | None = None
+        if self.config.enable_latent_memory:
+            with ctx.profiler.phase("expert_assignment"):
+                match = match_cluster_to_expert(
+                    pooled, self.registry, self._epsilon, gamma,
+                    max_rows=self.config.memory_capacity,
+                    rng=ctx.rng("match", window, members[0]),
+                    cluster_labels=pooled_labels,
+                )
+            if match.matched:
+                matched_id = match.expert_id
+        if matched_id is not None:
+            expert = self.registry.get(matched_id)
+            expert.memory.update(pooled, ctx.rng("memory", window, matched_id),
+                                 labels=pooled_labels)
+            expert.updated_window = window
+            action = "reuse"
+        else:
+            init = self._new_expert_init()
+            with ctx.profiler.phase("expert_creation"):
+                expert = self.registry.create(
+                    init, window,
+                    embeddings=pooled,
+                    labels=pooled_labels,
+                    rng=ctx.rng("memory-new", window, len(self.registry)),
+                    notes={"source": "shift", "window": window},
+                )
+            action = "create"
+        for pid in members:
+            self.assignments[pid] = expert.expert_id
+        self._adapting_experts.add(expert.expert_id)
+        window_log["clusters"].append({
+            "size": len(members),
+            "action": action,
+            "expert": expert.expert_id,
+        })
+
+    def _handle_small_cluster(self, window: int, members: list[int],
+                              window_log: dict) -> None:
+        """Clusters below gamma fine-tune their assigned expert locally."""
+        ctx = self.context
+        from dataclasses import replace
+        finetune_config = replace(
+            ctx.round_config.local,
+            epochs=self.config.finetune_epochs,
+            prox_mu=0.0,
+        )
+        for pid in members:
+            expert = self.registry.get(self.assignments[pid])
+            update = ctx.parties[pid].local_train(
+                expert.clone_params(), finetune_config,
+                round_tag=("finetune", window),
+            )
+            self._finetuned[pid] = update.params
+        window_log["clusters"].append({
+            "size": len(members),
+            "action": "finetune",
+            "expert": None,
+        })
+
+    def _new_expert_init(self) -> Params:
+        """CLONE(theta_0): new experts start from the bootstrap model."""
+        if self._bootstrap_snapshot is not None:
+            return [p.copy() for p in self._bootstrap_snapshot]
+        return self.context.model_factory().get_params()
+
+    # -------------------------------------------------- per-expert FLIPS (5.2.3-4)
+
+    def _cohorts(self) -> dict[int, list[int]]:
+        cohorts: dict[int, list[int]] = {eid: [] for eid in self.registry.ids()}
+        for pid, eid in self.assignments.items():
+            cohorts.setdefault(eid, []).append(pid)
+        return {eid: sorted(members) for eid, members in cohorts.items() if members}
+
+    def _fit_cohort_flips(self, window: int) -> None:
+        ctx = self.context
+        if not self.config.enable_flips:
+            return
+        for eid, members in self._cohorts().items():
+            histograms = {pid: ctx.parties[pid].label_histogram() for pid in members}
+            self._cohort_flips[eid] = FlipsSelector(
+                max_clusters=self.config.flips_max_clusters
+            ).fit(histograms, ctx.rng("flips", window, eid))
+
+    # -------------------------------------------------- training rounds
+
+    def run_round(self, window: int, round_index: int) -> None:
+        ctx = self.context
+        if window == 0:
+            self._run_bootstrap_round(window, round_index)
+            return
+        cohorts = self._cohorts()
+        # Experts absorbing this window's shift get the full participant
+        # budget: stable cohorts' experts are converged, and retraining them
+        # with a sliver of the budget only adds aggregation variance.  When
+        # *no* shift fired this window, fall back to standard continual
+        # training of every cohort so experts keep tracking their (possibly
+        # slowly drifting) regimes.
+        adapting = {eid: members for eid, members in cohorts.items()
+                    if eid in self._adapting_experts}
+        if adapting:
+            cohorts = adapting
+        budget = split_budget({eid: len(m) for eid, m in cohorts.items()},
+                              ctx.round_config.participants_per_round)
+        for eid, members in cohorts.items():
+            k = budget.get(eid, 0)
+            if k <= 0:
+                continue
+            rng = ctx.rng("select", self.name, window, round_index, eid)
+            selector = self._cohort_flips.get(eid)
+            if selector is not None and selector.is_fitted:
+                participants = selector.select(k, rng, available=set(members))
+            else:
+                participants = [int(p) for p in rng.choice(members, size=k,
+                                                           replace=False)]
+            if not participants:
+                continue
+            expert = self.registry.get(eid)
+            new_params, stats = run_fl_round(
+                ctx.parties, participants, expert.params, ctx.round_config,
+                round_tag=(window, round_index, eid),
+            )
+            expert.set_params(new_params)
+            expert.train_rounds += 1
+            expert.samples_seen += stats.total_samples
+            expert.updated_window = window
+            num_params = sum(p.size for p in new_params)
+            ctx.ledger.record_model_download(num_params, len(participants))
+            ctx.ledger.record_model_upload(num_params, len(participants))
+
+    def _run_bootstrap_round(self, window: int, round_index: int) -> None:
+        ctx = self.context
+        expert0 = self.registry.all()[0]
+        k = min(ctx.round_config.participants_per_round, len(ctx.parties))
+        rng = ctx.rng("select", self.name, window, round_index)
+        if self.config.enable_flips and self._bootstrap_flips is not None:
+            participants = self._bootstrap_flips.select(k, rng)
+        else:
+            participants = [int(p) for p in rng.choice(sorted(ctx.parties), size=k,
+                                                       replace=False)]
+        new_params, stats = run_fl_round(
+            ctx.parties, participants, expert0.params, ctx.round_config,
+            round_tag=(window, round_index),
+        )
+        expert0.set_params(new_params)
+        expert0.train_rounds += 1
+        expert0.samples_seen += stats.total_samples
+        num_params = sum(p.size for p in new_params)
+        ctx.ledger.record_model_download(num_params, len(participants))
+        ctx.ledger.record_model_upload(num_params, len(participants))
+
+    # -------------------------------------------------- window close
+
+    def end_window(self, window: int) -> None:
+        ctx = self.context
+        if window != 0:
+            # Party states were refreshed when this window's reports were
+            # collected; nothing further to close out.
+            return
+        expert0 = self.registry.all()[0]
+        self._encoder = expert0.clone_params()
+        self._bootstrap_snapshot = expert0.clone_params()
+        # First snapshot of party-side state (no reports exist for W0).
+        for pid, party in ctx.parties.items():
+            embeddings, labels = party.embeddings_with_labels(
+                self._encoder, split="train",
+                max_samples=self.config.embedding_samples,
+            )
+            self._party_state[pid] = PartyLocalState(
+                embeddings=embeddings,
+                labels=labels,
+                histogram=party.label_histogram(),
+            )
+        pooled = np.vstack([s.embeddings for s in self._party_state.values()])
+        pooled_labels = np.concatenate(
+            [s.labels for s in self._party_state.values()])
+        expert0.memory.update(pooled, ctx.rng("memory-seed"),
+                              labels=pooled_labels)
+        with ctx.profiler.phase("calibration"):
+            calibrator = ThresholdCalibrator(
+                num_bootstrap=self.config.num_bootstrap,
+                p_value=self.config.p_value,
+            )
+            party_pools = [(s.embeddings, s.labels)
+                           for s in self._party_state.values()]
+            priors = np.stack([s.histogram for s in self._party_state.values()])
+            calibrated = calibrator.calibrate(
+                party_pools, priors,
+                window_sample_size=ctx.spec.train_per_window,
+                rng=ctx.rng("calibration"),
+                reuse_sample_size=self.config.memory_capacity,
+            )
+        if self.config.delta_cov is not None or self.config.delta_label is not None:
+            calibrated = CalibratedThresholds(
+                delta_cov=(self.config.delta_cov
+                           if self.config.delta_cov is not None
+                           else calibrated.delta_cov),
+                delta_label=(self.config.delta_label
+                             if self.config.delta_label is not None
+                             else calibrated.delta_label),
+                gamma=calibrated.gamma,
+                p_value=calibrated.p_value,
+                epsilon_base=calibrated.epsilon_base,
+            )
+        self.thresholds = calibrated
+        if self._epsilon is None:
+            # Matching is class-conditional, so the reuse threshold shares
+            # the detection statistic's null scale (delta_cov), widened by
+            # epsilon_scale to tolerate latent-memory staleness.
+            self._epsilon = calibrated.delta_cov * self.config.epsilon_scale
+
+    # -------------------------------------------------- inference & reporting
+
+    def params_for_party(self, party_id: int) -> Params:
+        if party_id in self._finetuned:
+            return self._finetuned[party_id]
+        eid = self.assignments.get(party_id)
+        if eid is None or eid not in self.registry:
+            return self.registry.all()[0].params
+        return self.registry.get(eid).params
+
+    def expert_distribution(self) -> dict[int, int]:
+        """Expert id -> number of assigned parties (Figures 7-8 series)."""
+        counts: dict[int, int] = {eid: 0 for eid in self.registry.ids()}
+        for eid in self.assignments.values():
+            counts[eid] = counts.get(eid, 0) + 1
+        return counts
+
+    def describe_state(self) -> dict:
+        return {
+            "num_models": len(self.registry),
+            "experts_created": self.registry.created_total,
+            "experts_merged": self.registry.merged_total,
+            "distribution": self.expert_distribution(),
+            "delta_cov": None if self.thresholds is None else self.thresholds.delta_cov,
+            "delta_label": (None if self.thresholds is None
+                            else self.thresholds.delta_label),
+            "epsilon": self._epsilon,
+        }

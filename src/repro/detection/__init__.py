@@ -1,0 +1,49 @@
+"""Shift detection statistics and threshold calibration.
+
+Covariate shift is scored with kernel Maximum Mean Discrepancy over latent
+embeddings (paper Section 4.2); label shift with Jensen–Shannon divergence
+over normalized label histograms (Section 4.3).  Thresholds are derived from
+bootstrap null distributions under the no-shift hypothesis (Section 5),
+giving p-value-calibrated deltas.
+"""
+
+from repro.detection.mmd import (
+    rbf_kernel,
+    median_heuristic_gamma,
+    mmd2_biased,
+    mmd2_unbiased,
+    mmd,
+    class_conditional_mmd,
+    linear_time_mmd2,
+)
+from repro.detection.divergence import kl_divergence, jsd, jsd_max
+from repro.detection.drift import DriftMonitor, DriftVerdict
+from repro.detection.calibration import (
+    bootstrap_mmd_null,
+    bootstrap_jsd_null,
+    bootstrap_party_mmd_null,
+    threshold_from_null,
+    ThresholdCalibrator,
+    CalibratedThresholds,
+)
+
+__all__ = [
+    "rbf_kernel",
+    "median_heuristic_gamma",
+    "mmd2_biased",
+    "mmd2_unbiased",
+    "mmd",
+    "class_conditional_mmd",
+    "linear_time_mmd2",
+    "kl_divergence",
+    "jsd",
+    "jsd_max",
+    "bootstrap_mmd_null",
+    "bootstrap_jsd_null",
+    "bootstrap_party_mmd_null",
+    "threshold_from_null",
+    "ThresholdCalibrator",
+    "DriftMonitor",
+    "DriftVerdict",
+    "CalibratedThresholds",
+]

@@ -1,0 +1,189 @@
+"""Bootstrap calibration of the detection thresholds delta_cov / delta_label.
+
+Per the paper (Section 5): "The thresholds are derived during the bootstrap
+phase from the null distributions of MMD and JSD scores.  delta_cov is set
+via p-value estimation from bootstrapped client feature representations
+assuming no shift, while delta_label is based on JSD statistics between
+predicted and prior label distributions under stable conditions."
+
+Concretely, the aggregator holds a reference embedding matrix and a set of
+stable label priors; repeated resampling under the no-shift null yields
+empirical score distributions whose ``1 - p`` quantile becomes the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.divergence import jsd
+from repro.detection.mmd import class_conditional_mmd, median_heuristic_gamma, mmd
+from repro.utils.validation import check_2d, normalize_histogram
+
+
+def bootstrap_mmd_null(embeddings: np.ndarray, sample_size: int,
+                       num_bootstrap: int, rng: np.random.Generator,
+                       gamma: float | None = None) -> np.ndarray:
+    """Null MMD scores between disjoint resamples of one embedding pool.
+
+    Each draw splits a random subset of the pool into two halves of
+    ``sample_size`` and records their MMD — the distribution of the detector
+    statistic when *no* shift occurred.
+    """
+    embeddings = check_2d(embeddings, "embeddings")
+    n = embeddings.shape[0]
+    if sample_size < 2:
+        raise ValueError("sample_size must be at least 2")
+    if 2 * sample_size > n:
+        raise ValueError(
+            f"need at least 2*sample_size={2 * sample_size} reference embeddings; have {n}"
+        )
+    if num_bootstrap <= 0:
+        raise ValueError("num_bootstrap must be positive")
+    if gamma is None:
+        gamma = median_heuristic_gamma(embeddings)
+    scores = np.empty(num_bootstrap)
+    for b in range(num_bootstrap):
+        idx = rng.choice(n, size=2 * sample_size, replace=False)
+        scores[b] = mmd(embeddings[idx[:sample_size]],
+                        embeddings[idx[sample_size:]], gamma)
+    return scores
+
+
+def bootstrap_jsd_null(prior: np.ndarray, sample_size: int,
+                       num_bootstrap: int, rng: np.random.Generator) -> np.ndarray:
+    """Null JSD scores between multinomial resamples of one label prior.
+
+    Models the sampling noise of per-window label histograms under a stable
+    label distribution.
+    """
+    prior = normalize_histogram(np.asarray(prior, dtype=np.float64))
+    if sample_size < 1:
+        raise ValueError("sample_size must be positive")
+    if num_bootstrap <= 0:
+        raise ValueError("num_bootstrap must be positive")
+    scores = np.empty(num_bootstrap)
+    for b in range(num_bootstrap):
+        h1 = normalize_histogram(rng.multinomial(sample_size, prior).astype(np.float64))
+        h2 = normalize_histogram(rng.multinomial(sample_size, prior).astype(np.float64))
+        scores[b] = jsd(h1, h2)
+    return scores
+
+
+def bootstrap_party_mmd_null(party_pools: list[tuple[np.ndarray, np.ndarray]],
+                             num_bootstrap: int, rng: np.random.Generator,
+                             gamma: float | None = None) -> np.ndarray:
+    """Null class-conditional MMD from per-party labelled embedding pools.
+
+    This is the paper's "p-value estimation from bootstrapped client feature
+    representations assuming no shift": for each draw, pick a party and
+    compare two full-size with-replacement resamples of its own clean-window
+    embeddings — the distribution of Algorithm 1's covariate statistic when
+    the party's data did *not* shift (including its label-composition
+    sampling noise).
+    """
+    if not party_pools:
+        raise ValueError("need at least one party pool")
+    for embeddings, labels in party_pools:
+        embeddings = check_2d(embeddings, "party embeddings")
+        if np.asarray(labels).shape != (embeddings.shape[0],):
+            raise ValueError("labels must align with embedding rows")
+    if num_bootstrap <= 0:
+        raise ValueError("num_bootstrap must be positive")
+    if gamma is None:
+        gamma = median_heuristic_gamma(np.vstack([e for e, _ in party_pools]))
+    scores = np.empty(num_bootstrap)
+    for b in range(num_bootstrap):
+        embeddings, labels = party_pools[int(rng.integers(len(party_pools)))]
+        n = embeddings.shape[0]
+        i1 = rng.choice(n, size=n, replace=True)
+        i2 = rng.choice(n, size=n, replace=True)
+        scores[b] = class_conditional_mmd(
+            embeddings[i1], np.asarray(labels)[i1],
+            embeddings[i2], np.asarray(labels)[i2], gamma,
+        )
+    return scores
+
+
+def threshold_from_null(null_scores: np.ndarray, p_value: float = 0.05) -> float:
+    """``1 - p_value`` quantile of a null score sample."""
+    null_scores = np.asarray(null_scores, dtype=np.float64)
+    if null_scores.ndim != 1 or null_scores.size == 0:
+        raise ValueError("null_scores must be a non-empty 1-D array")
+    if not 0.0 < p_value < 1.0:
+        raise ValueError("p_value must be in (0, 1)")
+    return float(np.quantile(null_scores, 1.0 - p_value))
+
+
+@dataclass(frozen=True)
+class CalibratedThresholds:
+    """Calibrated detector thresholds plus kernel bandwidth.
+
+    ``epsilon_base`` is the null quantile of *unconditional* MMD at
+    reuse-matching sample sizes — the reference scale for the latent-memory
+    threshold epsilon (Section 5.2.2), which the server scales by its
+    ``epsilon_scale``.
+    """
+
+    delta_cov: float
+    delta_label: float
+    gamma: float
+    p_value: float
+    epsilon_base: float = 0.0
+
+
+class ThresholdCalibrator:
+    """Bundles MMD and JSD null calibration for the bootstrap phase."""
+
+    def __init__(self, num_bootstrap: int = 200, p_value: float = 0.05) -> None:
+        if num_bootstrap <= 0:
+            raise ValueError("num_bootstrap must be positive")
+        if not 0.0 < p_value < 1.0:
+            raise ValueError("p_value must be in (0, 1)")
+        self.num_bootstrap = num_bootstrap
+        self.p_value = p_value
+
+    def calibrate(self, party_pools: list[tuple[np.ndarray, np.ndarray]],
+                  stable_priors: np.ndarray, window_sample_size: int,
+                  rng: np.random.Generator,
+                  reuse_sample_size: int = 64) -> CalibratedThresholds:
+        """Derive detection thresholds from the clean bootstrap window.
+
+        Parameters
+        ----------
+        party_pools : per-party ``(embeddings, labels)`` of the burn-in
+            window — the "bootstrapped client feature representations".
+        stable_priors : (n_parties, c) label priors observed under stable
+            conditions.
+        window_sample_size : typical per-window label-histogram sample count
+            (controls JSD sampling noise).
+        reuse_sample_size : sample size for the epsilon_base null (typically
+            the latent-memory capacity).
+        """
+        if not party_pools:
+            raise ValueError("party_pools must not be empty")
+        pooled = np.vstack([check_2d(e, "embeddings") for e, _ in party_pools])
+        gamma = median_heuristic_gamma(pooled)
+        mmd_null = bootstrap_party_mmd_null(party_pools, self.num_bootstrap, rng, gamma)
+        priors = np.atleast_2d(np.asarray(stable_priors, dtype=np.float64))
+        per_prior = max(1, self.num_bootstrap // priors.shape[0])
+        jsd_null = np.concatenate([
+            bootstrap_jsd_null(prior, window_sample_size, per_prior, rng)
+            for prior in priors
+        ])
+        reuse_m = min(reuse_sample_size, pooled.shape[0] // 2)
+        if reuse_m >= 2:
+            reuse_null = bootstrap_mmd_null(
+                pooled, reuse_m, self.num_bootstrap, rng, gamma
+            )
+            epsilon_base = threshold_from_null(reuse_null, self.p_value)
+        else:
+            epsilon_base = threshold_from_null(mmd_null, self.p_value)
+        return CalibratedThresholds(
+            delta_cov=threshold_from_null(mmd_null, self.p_value),
+            delta_label=threshold_from_null(jsd_null, self.p_value),
+            gamma=gamma,
+            p_value=self.p_value,
+            epsilon_base=epsilon_base,
+        )

@@ -1,0 +1,116 @@
+"""Expert consolidation: merge near-duplicate experts (Section 5.2.5).
+
+Two experts merge when their flattened parameter vectors exceed cosine
+similarity ``tau`` *and* their latent memories agree that they serve nearly
+identical covariate regimes (memory MMD at most ``memory_epsilon``, when
+both memories are non-empty).  The parameter test alone is necessary but not
+sufficient: models descended from the same bootstrap initialization stay
+globally aligned for a while, and a just-cloned expert is exactly identical
+to its source — so untrained experts are never merge candidates, and the
+regime check keeps genuinely specialized experts apart.
+
+Merging averages parameters weighted by training samples seen, blends the
+latent memories, and remaps affected parties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.mmd import class_conditional_mmd
+from repro.experts.memory import LatentMemory
+from repro.experts.registry import Expert, ExpertRegistry
+from repro.utils.params import params_cosine_similarity, weighted_average
+
+
+@dataclass(frozen=True)
+class ConsolidationEvent:
+    """Record of one merge: which experts fused into which."""
+
+    merged_ids: tuple[int, int]
+    new_id: int
+    similarity: float
+
+
+def _merge_pair(registry: ExpertRegistry, a: Expert, b: Expert, window: int,
+                similarity: float, rng: np.random.Generator) -> ConsolidationEvent:
+    weight_a = float(max(a.samples_seen, 1))
+    weight_b = float(max(b.samples_seen, 1))
+    merged_params = weighted_average([a.params, b.params], [weight_a, weight_b])
+    share_a = weight_a / (weight_a + weight_b)
+    merged_memory: LatentMemory = a.memory.merged_with(b.memory, share_a, rng)
+    merged = Expert(
+        expert_id=registry.allocate_id(),
+        params=merged_params,
+        memory=merged_memory,
+        created_window=min(a.created_window, b.created_window),
+        updated_window=window,
+        train_rounds=a.train_rounds + b.train_rounds,
+        samples_seen=a.samples_seen + b.samples_seen,
+        merged_from=(a.expert_id, b.expert_id),
+    )
+    registry.replace_pair_with_merged(a.expert_id, b.expert_id, merged)
+    return ConsolidationEvent(
+        merged_ids=(a.expert_id, b.expert_id),
+        new_id=merged.expert_id,
+        similarity=similarity,
+    )
+
+
+def _mergeable(a: Expert, b: Expert, tau: float,
+               memory_epsilon: float | None,
+               gamma: float | None) -> float | None:
+    """Return the similarity when the pair qualifies for merging, else None."""
+    if a.train_rounds == 0 or b.train_rounds == 0:
+        return None
+    sim = params_cosine_similarity(a.params, b.params)
+    if sim <= tau:
+        return None
+    if memory_epsilon is not None and not a.memory.is_empty and not b.memory.is_empty:
+        regime_distance = class_conditional_mmd(
+            a.memory.signature, a.memory.signature_labels,
+            b.memory.signature, b.memory.signature_labels, gamma,
+        )
+        if regime_distance > memory_epsilon:
+            return None
+    return sim
+
+
+def consolidate_experts(registry: ExpertRegistry, tau: float, window: int,
+                        rng: np.random.Generator,
+                        assignments: dict[int, int] | None = None,
+                        memory_epsilon: float | None = None,
+                        gamma: float | None = None,
+                        ) -> list[ConsolidationEvent]:
+    """Repeatedly merge the most similar qualifying expert pair above ``tau``.
+
+    ``assignments`` (party -> expert id), when given, is updated in place so
+    parties keep pointing at live experts.  ``memory_epsilon`` adds the
+    regime check described in the module docstring.  Returns merge events in
+    order; at least one expert always survives.
+    """
+    if not -1.0 <= tau <= 1.0:
+        raise ValueError("tau must be a valid cosine similarity bound")
+    events: list[ConsolidationEvent] = []
+    while len(registry) >= 2:
+        experts = registry.all()
+        best_pair: tuple[Expert, Expert] | None = None
+        best_sim = tau
+        for i in range(len(experts)):
+            for j in range(i + 1, len(experts)):
+                sim = _mergeable(experts[i], experts[j], tau, memory_epsilon, gamma)
+                if sim is not None and sim > best_sim:
+                    best_sim = sim
+                    best_pair = (experts[i], experts[j])
+        if best_pair is None:
+            break
+        event = _merge_pair(registry, best_pair[0], best_pair[1], window,
+                            best_sim, rng)
+        events.append(event)
+        if assignments is not None:
+            for party, expert_id in list(assignments.items()):
+                if expert_id in event.merged_ids:
+                    assignments[party] = event.new_id
+    return events

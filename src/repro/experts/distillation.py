@@ -1,0 +1,155 @@
+"""Expert compression via online distillation (paper Section 9, future work).
+
+"Future work will explore expert compression via online distillation" — this
+module implements that extension: a pool of experts is distilled into one
+compact student model by matching the *assignment-weighted* soft predictions
+of the experts on a reference set.  Each reference sample is routed to the
+expert responsible for its regime (mirroring ShiftEx's party-level routing),
+so the student learns the union of the experts' specializations without any
+party data leaving the aggregator.
+
+The distillation loss is the standard soft-target cross-entropy
+``H(softmax(teacher/T), softmax(student/T))`` scaled by ``T^2`` (Hinton et
+al., 2015), optionally mixed with hard-label cross-entropy when labels are
+available for the reference set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experts.registry import ExpertRegistry
+from repro.nn.losses import softmax_probs
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.utils.params import Params
+
+
+@dataclass
+class DistillationConfig:
+    """Hyper-parameters for pool-to-student distillation."""
+
+    temperature: float = 2.0
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    hard_label_weight: float = 0.25  # 0 = pure soft targets
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if not 0.0 <= self.hard_label_weight <= 1.0:
+            raise ValueError("hard_label_weight must be in [0, 1]")
+
+
+@dataclass
+class DistillationResult:
+    """Distilled parameters plus teacher/student agreement statistics."""
+
+    student_params: Params
+    teacher_agreement: float  # fraction of reference samples where argmax agrees
+    mean_soft_loss: float
+    num_experts: int
+    num_reference_samples: int
+
+
+def _teacher_logits(registry: ExpertRegistry, model: Sequential,
+                    x: np.ndarray, routing: np.ndarray) -> np.ndarray:
+    """Per-sample logits from each sample's routed expert."""
+    expert_ids = registry.ids()
+    logits = None
+    for eid in expert_ids:
+        members = np.nonzero(routing == eid)[0]
+        if members.size == 0:
+            continue
+        model.set_params(registry.get(eid).params)
+        out = model.forward(x[members], training=False)
+        if logits is None:
+            logits = np.zeros((x.shape[0], out.shape[1]))
+        logits[members] = out
+    if logits is None:
+        raise ValueError("routing assigned no samples to any expert")
+    return logits
+
+
+def distill_expert_pool(registry: ExpertRegistry, student: Sequential,
+                        scratch_model: Sequential,
+                        x_reference: np.ndarray, routing: np.ndarray,
+                        config: DistillationConfig,
+                        rng: np.random.Generator,
+                        y_reference: np.ndarray | None = None,
+                        ) -> DistillationResult:
+    """Distill every expert's behaviour into ``student`` (updated in place).
+
+    Parameters
+    ----------
+    registry : the expert pool (the teachers).
+    student : the compact model to train.
+    scratch_model : a model of the experts' architecture used to evaluate
+        teacher logits (its parameters are overwritten).
+    x_reference : (n, ...) reference inputs spanning the observed regimes —
+        e.g. the aggregator's calibration set re-corrupted per regime.
+    routing : (n,) expert id responsible for each reference sample.
+    y_reference : optional hard labels mixed in with ``hard_label_weight``.
+    """
+    x_reference = np.asarray(x_reference, dtype=np.float64)
+    routing = np.asarray(routing)
+    if routing.shape != (x_reference.shape[0],):
+        raise ValueError("routing must assign an expert to every reference sample")
+    if len(registry) == 0:
+        raise ValueError("cannot distill an empty expert pool")
+    unknown = set(np.unique(routing)) - set(registry.ids())
+    if unknown:
+        raise ValueError(f"routing references unknown experts {sorted(unknown)}")
+    if y_reference is not None and config.hard_label_weight > 0:
+        y_reference = np.asarray(y_reference)
+        if y_reference.shape != (x_reference.shape[0],):
+            raise ValueError("y_reference must align with x_reference")
+
+    teacher = _teacher_logits(registry, scratch_model, x_reference, routing)
+    temp = config.temperature
+    soft_targets = softmax_probs(teacher / temp)
+
+    optimizer = SGD(config.lr, momentum=config.momentum)
+    n = x_reference.shape[0]
+    losses: list[float] = []
+    for _epoch in range(config.epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, config.batch_size):
+            idx = order[start:start + config.batch_size]
+            xb = x_reference[idx]
+            student.zero_grads()
+            logits = student.forward(xb, training=True)
+            # Soft-target cross-entropy at temperature T (grad scaled by T^2
+            # restores gradient magnitude, as in Hinton et al.).
+            probs = softmax_probs(logits / temp)
+            target = soft_targets[idx]
+            eps = 1e-12
+            soft_loss = float(-np.mean(np.sum(target * np.log(probs + eps), axis=1)))
+            grad = (probs - target) / (idx.size) * temp
+            if (y_reference is not None and config.hard_label_weight > 0):
+                hard_probs = softmax_probs(logits)
+                hard_grad = hard_probs.copy()
+                hard_grad[np.arange(idx.size), y_reference[idx]] -= 1.0
+                hard_grad /= idx.size
+                w = config.hard_label_weight
+                grad = (1 - w) * grad + w * hard_grad
+            student.backward(grad)
+            optimizer.step(student.params, student.grads)
+            losses.append(soft_loss)
+
+    student_pred = student.predict(x_reference)
+    teacher_pred = teacher.argmax(axis=1)
+    agreement = float(np.mean(student_pred == teacher_pred))
+    return DistillationResult(
+        student_params=student.get_params(),
+        teacher_agreement=agreement,
+        mean_soft_loss=float(np.mean(losses)) if losses else float("nan"),
+        num_experts=len(registry),
+        num_reference_samples=n,
+    )

@@ -1,0 +1,231 @@
+"""Facility-location expert assignment (Equation 2 of the paper).
+
+The program jointly minimizes, over assignment variables ``z`` and expert
+activations ``w``:
+
+* covariate mismatch — ``sum_c sum_k z_ck * MMD(P_c, P_k)``;
+* expert-creation cost — ``lambda * sum_{k in K_n} w_k``;
+* label imbalance — ``mu * sum_k JSD(y_k, y_bar)`` where ``y_k`` is the
+  aggregate label histogram of expert k's cohort and ``y_bar`` the global
+  mean histogram;
+
+subject to: every party picks exactly one expert, parties may only use
+activated experts, existing experts are always active, and no expert serves
+more than ``U_max`` parties.
+
+The problem is NP-hard (the paper cites the planar facility-location
+results), so ShiftEx uses the modular pipeline of Section 5.2 at runtime.
+Here we ship both an exact enumerative solver for small instances (to
+validate approximations, and for the ablation bench) and a greedy +
+local-search approximation mirroring the paper's decomposition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.divergence import jsd
+from repro.utils.validation import normalize_histogram
+
+
+@dataclass
+class FacilityLocationProblem:
+    """Problem data for Equation 2.
+
+    ``mmd_costs[c, k]`` is the covariate mismatch between party ``c`` and
+    expert column ``k``; columns are partitioned into ``existing`` (K_0,
+    always active) and ``candidates`` (K_n, cost ``lam`` each to activate).
+    """
+
+    mmd_costs: np.ndarray
+    existing: tuple[int, ...]
+    candidates: tuple[int, ...]
+    party_histograms: np.ndarray
+    lam: float = 0.1
+    mu: float = 0.1
+    capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        self.mmd_costs = np.asarray(self.mmd_costs, dtype=np.float64)
+        if self.mmd_costs.ndim != 2:
+            raise ValueError("mmd_costs must be (n_parties, n_experts)")
+        n_parties, n_experts = self.mmd_costs.shape
+        cols = sorted((*self.existing, *self.candidates))
+        if cols != list(range(n_experts)):
+            raise ValueError("existing + candidates must cover every expert column")
+        self.party_histograms = np.stack([
+            normalize_histogram(h) for h in np.asarray(self.party_histograms,
+                                                       dtype=np.float64)
+        ])
+        if self.party_histograms.shape[0] != n_parties:
+            raise ValueError("party_histograms must align with mmd_costs rows")
+        if self.lam < 0 or self.mu < 0:
+            raise ValueError("lam and mu must be non-negative")
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError("capacity must be positive when given")
+        if self.capacity is not None and self.capacity * n_experts < n_parties:
+            raise ValueError("total capacity cannot cover all parties")
+
+    @property
+    def num_parties(self) -> int:
+        return int(self.mmd_costs.shape[0])
+
+    @property
+    def num_experts(self) -> int:
+        return int(self.mmd_costs.shape[1])
+
+    @property
+    def global_mean_histogram(self) -> np.ndarray:
+        return normalize_histogram(self.party_histograms.mean(axis=0))
+
+    # ------------------------------------------------------------------ objective
+
+    def objective(self, assignment: np.ndarray) -> float:
+        """Evaluate Equation 2 for a full assignment vector.
+
+        ``assignment[c]`` is the expert column of party ``c``.  Raises on
+        capacity violations.  Activation is implied: a candidate is open iff
+        some party uses it.
+        """
+        assignment = np.asarray(assignment, dtype=int)
+        if assignment.shape != (self.num_parties,):
+            raise ValueError("assignment must map every party to one expert")
+        if assignment.min() < 0 or assignment.max() >= self.num_experts:
+            raise ValueError("assignment references unknown expert columns")
+        counts = np.bincount(assignment, minlength=self.num_experts)
+        if self.capacity is not None and counts.max(initial=0) > self.capacity:
+            raise ValueError("assignment violates the capacity constraint")
+
+        mismatch = float(self.mmd_costs[np.arange(self.num_parties), assignment].sum())
+        open_new = sum(1 for k in self.candidates if counts[k] > 0)
+        creation = self.lam * open_new
+        y_bar = self.global_mean_histogram
+        imbalance = 0.0
+        for k in range(self.num_experts):
+            if counts[k] == 0:
+                continue
+            members = self.party_histograms[assignment == k]
+            imbalance += jsd(normalize_histogram(members.mean(axis=0)), y_bar)
+        return mismatch + creation + self.mu * imbalance
+
+
+@dataclass
+class FacilityLocationSolution:
+    """A feasible assignment plus its cost breakdown."""
+
+    assignment: np.ndarray
+    objective: float
+    open_experts: tuple[int, ...]
+    method: str
+    details: dict = field(default_factory=dict)
+
+
+def solve_exact(problem: FacilityLocationProblem,
+                max_states: int = 2_000_000) -> FacilityLocationSolution:
+    """Brute-force enumeration over all feasible assignments.
+
+    Only viable for small instances; raises when the state space exceeds
+    ``max_states``.  Used in tests as ground truth for the greedy solver.
+    """
+    states = problem.num_experts ** problem.num_parties
+    if states > max_states:
+        raise ValueError(
+            f"exact solver state space {states} exceeds limit {max_states}"
+        )
+    best_assignment: np.ndarray | None = None
+    best_value = float("inf")
+    for combo in itertools.product(range(problem.num_experts),
+                                   repeat=problem.num_parties):
+        assignment = np.array(combo, dtype=int)
+        counts = np.bincount(assignment, minlength=problem.num_experts)
+        if problem.capacity is not None and counts.max(initial=0) > problem.capacity:
+            continue
+        value = problem.objective(assignment)
+        if value < best_value:
+            best_value = value
+            best_assignment = assignment
+    if best_assignment is None:
+        raise RuntimeError("no feasible assignment exists")
+    counts = np.bincount(best_assignment, minlength=problem.num_experts)
+    open_experts = tuple(sorted(set(problem.existing)
+                                | {k for k in problem.candidates if counts[k] > 0}))
+    return FacilityLocationSolution(
+        assignment=best_assignment,
+        objective=best_value,
+        open_experts=open_experts,
+        method="exact",
+    )
+
+
+def _greedy_initial(problem: FacilityLocationProblem) -> np.ndarray:
+    """Assign parties (hardest first) to the cheapest feasible expert.
+
+    Candidate experts carry an amortized opening surcharge of ``lam`` the
+    first time a party adopts them.
+    """
+    n, m = problem.num_parties, problem.num_experts
+    assignment = np.full(n, -1, dtype=int)
+    counts = np.zeros(m, dtype=int)
+    opened = set(problem.existing)
+    # Hardest parties first: those whose best option is worst.
+    order = np.argsort(-problem.mmd_costs.min(axis=1))
+    for c in order:
+        best_k, best_cost = -1, float("inf")
+        for k in range(m):
+            if problem.capacity is not None and counts[k] >= problem.capacity:
+                continue
+            cost = problem.mmd_costs[c, k]
+            if k not in opened:
+                cost += problem.lam
+            if cost < best_cost:
+                best_cost, best_k = cost, k
+        if best_k < 0:
+            raise RuntimeError("capacity exhausted during greedy construction")
+        assignment[c] = best_k
+        counts[best_k] += 1
+        opened.add(best_k)
+    return assignment
+
+
+def solve_greedy(problem: FacilityLocationProblem,
+                 max_passes: int = 5) -> FacilityLocationSolution:
+    """Greedy construction + first-improvement local search on Equation 2.
+
+    Local search tries single-party reassignments (including onto unopened
+    candidates) and keeps any move that lowers the full objective, for up to
+    ``max_passes`` sweeps.
+    """
+    assignment = _greedy_initial(problem)
+    value = problem.objective(assignment)
+    n, m = problem.num_parties, problem.num_experts
+    for _pass in range(max_passes):
+        improved = False
+        for c in range(n):
+            current = assignment[c]
+            for k in range(m):
+                if k == current:
+                    continue
+                candidate = assignment.copy()
+                candidate[c] = k
+                counts = np.bincount(candidate, minlength=m)
+                if problem.capacity is not None and counts.max() > problem.capacity:
+                    continue
+                new_value = problem.objective(candidate)
+                if new_value + 1e-12 < value:
+                    assignment, value = candidate, new_value
+                    improved = True
+                    break
+        if not improved:
+            break
+    counts = np.bincount(assignment, minlength=m)
+    open_experts = tuple(sorted(set(problem.existing)
+                                | {k for k in problem.candidates if counts[k] > 0}))
+    return FacilityLocationSolution(
+        assignment=assignment,
+        objective=value,
+        open_experts=open_experts,
+        method="greedy",
+    )

@@ -1,0 +1,105 @@
+"""Match covariate clusters to existing experts via latent-memory MMD.
+
+Implements the reuse rule of Section 5.2.2:
+
+    if  min_k MMD(P_bar_j(X), M(k)) <= epsilon,  assign cluster G_j to expert k
+
+where ``M(k)`` is expert k's latent-memory signature.  Recurring covariate
+patterns thereby reuse existing experts instead of spawning new ones.
+
+When the cluster carries class tags (and the memory stores them), the score
+is *class-conditional* MMD: at window-sized samples the label-composition
+differences between a cluster and a memory otherwise dominate the
+unconditional statistic and mask the covariate signal entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.mmd import class_conditional_mmd, mmd
+from repro.experts.registry import Expert, ExpertRegistry
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one cluster against the registry."""
+
+    matched: bool
+    expert_id: int | None
+    score: float  # best (lowest) MMD across experts, inf if registry empty
+    scores: dict[int, float]  # per-expert MMD
+
+
+def match_cluster_to_expert(cluster_embeddings: np.ndarray,
+                            registry: ExpertRegistry,
+                            epsilon: float,
+                            gamma: float | None = None,
+                            exclude: set[int] | None = None,
+                            max_rows: int | None = None,
+                            rng: np.random.Generator | None = None,
+                            cluster_labels: np.ndarray | None = None,
+                            ) -> MatchResult:
+    """Find the closest expert by MMD between cluster and memory signatures.
+
+    ``epsilon`` is the reuse threshold; experts with empty memories (never
+    trained on any regime) and ids in ``exclude`` are skipped.
+
+    ``max_rows`` subsamples the cluster pool before comparison.  MMD's
+    magnitude depends on sample size, so matching at the same row count the
+    reuse threshold was calibrated at (the latent-memory capacity) keeps the
+    score and the threshold on one scale.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    cluster_embeddings = check_2d(cluster_embeddings, "cluster_embeddings")
+    if cluster_labels is not None:
+        cluster_labels = np.asarray(cluster_labels)
+        if cluster_labels.shape != (cluster_embeddings.shape[0],):
+            raise ValueError("cluster_labels must align with embedding rows")
+    if max_rows is not None and cluster_embeddings.shape[0] > max_rows:
+        if rng is None:
+            raise ValueError("subsampling the cluster pool requires an rng")
+        idx = rng.choice(cluster_embeddings.shape[0], size=max_rows, replace=False)
+        cluster_embeddings = cluster_embeddings[idx]
+        if cluster_labels is not None:
+            cluster_labels = cluster_labels[idx]
+    scores: dict[int, float] = {}
+    best_id: int | None = None
+    best_score = float("inf")
+    for expert in registry.all():
+        if exclude and expert.expert_id in exclude:
+            continue
+        if expert.memory.is_empty:
+            continue
+        if cluster_labels is not None:
+            score = class_conditional_mmd(
+                cluster_embeddings, cluster_labels,
+                expert.memory.signature, expert.memory.signature_labels, gamma,
+            )
+        else:
+            score = mmd(cluster_embeddings, expert.memory.signature, gamma)
+        scores[expert.expert_id] = score
+        if score < best_score:
+            best_score = score
+            best_id = expert.expert_id
+    matched = best_id is not None and best_score <= epsilon
+    return MatchResult(
+        matched=matched,
+        expert_id=best_id if matched else None,
+        score=best_score,
+        scores=scores,
+    )
+
+
+def nearest_expert(cluster_embeddings: np.ndarray, registry: ExpertRegistry,
+                   gamma: float | None = None) -> Expert | None:
+    """The closest expert regardless of threshold (None if registry empty)."""
+    result = match_cluster_to_expert(cluster_embeddings, registry,
+                                     epsilon=float("inf"), gamma=gamma)
+    if result.expert_id is None:
+        return None
+    return registry.get(result.expert_id)

@@ -1,0 +1,136 @@
+"""Expert pool: creation, lookup, assignment bookkeeping.
+
+The registry is the aggregator's Theta_t: at window 0 it holds the single
+bootstrap expert; later windows add specialists (cloned from the bootstrap
+model per Algorithm 2, line 20) and consolidation merges redundant ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experts.memory import LatentMemory
+from repro.utils.params import Params
+
+
+@dataclass
+class Expert:
+    """One specialized global model plus its regime signature."""
+
+    expert_id: int
+    params: Params
+    memory: LatentMemory
+    created_window: int
+    updated_window: int = 0
+    train_rounds: int = 0
+    samples_seen: int = 0
+    merged_from: tuple[int, ...] = ()
+    notes: dict = field(default_factory=dict)
+
+    def clone_params(self) -> Params:
+        return [p.copy() for p in self.params]
+
+    def set_params(self, params: Params) -> None:
+        self.params = [p.copy() for p in params]
+
+
+class ExpertRegistry:
+    """Ordered pool of experts with stable integer ids."""
+
+    def __init__(self, memory_capacity: int = 64, memory_eta: float = 0.3) -> None:
+        self.memory_capacity = memory_capacity
+        self.memory_eta = memory_eta
+        self._experts: dict[int, Expert] = {}
+        self._next_id = 0
+        self.created_total = 0
+        self.merged_total = 0
+
+    # ------------------------------------------------------------------ pool access
+
+    def __len__(self) -> int:
+        return len(self._experts)
+
+    def __contains__(self, expert_id: int) -> bool:
+        return expert_id in self._experts
+
+    def ids(self) -> list[int]:
+        return sorted(self._experts)
+
+    def get(self, expert_id: int) -> Expert:
+        if expert_id not in self._experts:
+            raise KeyError(f"unknown expert id {expert_id}")
+        return self._experts[expert_id]
+
+    def all(self) -> list[Expert]:
+        return [self._experts[i] for i in self.ids()]
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def create(self, params: Params, window: int,
+               embeddings: np.ndarray | None = None,
+               rng: np.random.Generator | None = None,
+               labels: np.ndarray | None = None,
+               notes: dict | None = None) -> Expert:
+        """Register a new expert (optionally seeding its latent memory)."""
+        memory = LatentMemory(self.memory_capacity, self.memory_eta)
+        if embeddings is not None:
+            if rng is None:
+                raise ValueError("seeding latent memory requires an rng")
+            memory.update(embeddings, rng, labels=labels)
+        expert = Expert(
+            expert_id=self._next_id,
+            params=[p.copy() for p in params],
+            memory=memory,
+            created_window=window,
+            updated_window=window,
+            notes=dict(notes or {}),
+        )
+        self._experts[expert.expert_id] = expert
+        self._next_id += 1
+        self.created_total += 1
+        return expert
+
+    def remove(self, expert_id: int) -> Expert:
+        if expert_id not in self._experts:
+            raise KeyError(f"unknown expert id {expert_id}")
+        return self._experts.pop(expert_id)
+
+    def replace_pair_with_merged(self, id_a: int, id_b: int, merged: Expert) -> None:
+        """Swap two experts for their consolidation result."""
+        self.remove(id_a)
+        self.remove(id_b)
+        self._experts[merged.expert_id] = merged
+        self.merged_total += 1
+
+    def allocate_id(self) -> int:
+        """Reserve a fresh id (used by consolidation to build merged experts)."""
+        expert_id = self._next_id
+        self._next_id += 1
+        return expert_id
+
+    # ------------------------------------------------------------------ accounting
+
+    def memory_footprint(self, embedding_dim: int, num_parties: int) -> dict[str, float]:
+        """Aggregator-side memory model of Section 5.4, in bytes.
+
+        O(k*d) expert centroids + O(n) party mapping + expert parameters.
+        """
+        bytes_per_float = 8
+        k = len(self)
+        centroids = k * embedding_dim * bytes_per_float
+        signatures = sum(
+            0 if e.memory.is_empty else e.memory.signature.size * bytes_per_float
+            for e in self.all()
+        )
+        mapping = num_parties * 8
+        params = sum(sum(p.size for p in e.params) for e in self.all()) * bytes_per_float
+        return {
+            "num_experts": float(k),
+            "centroid_bytes": float(centroids),
+            "signature_bytes": float(signatures),
+            "mapping_bytes": float(mapping),
+            "param_bytes": float(params),
+            "total_bytes": float(centroids + signatures + mapping + params),
+        }

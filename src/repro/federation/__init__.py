@@ -1,0 +1,27 @@
+"""Federated learning core: parties, aggregation, rounds, accounting.
+
+This package is the Flower/PySyft stand-in: an in-process FL simulator with
+the same moving parts — parties that train locally and report updates, a
+weighted FedAvg aggregation rule (with optional FedProx proximal term in the
+local objective), per-round participant selection hooks, and communication /
+computation accounting.
+"""
+
+from repro.federation.party import Party, LocalUpdate
+from repro.federation.aggregation import fedavg
+from repro.federation.rounds import RoundConfig, RoundStats, run_fl_round
+from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
+from repro.federation.strategy import ContinualStrategy, StrategyContext
+
+__all__ = [
+    "Party",
+    "LocalUpdate",
+    "fedavg",
+    "RoundConfig",
+    "RoundStats",
+    "run_fl_round",
+    "CommunicationLedger",
+    "RuntimeProfiler",
+    "ContinualStrategy",
+    "StrategyContext",
+]

@@ -1,0 +1,95 @@
+"""Communication and runtime accounting.
+
+The paper reports ShiftEx's overheads (Section 5.4 and the Results
+discussion): bytes moved per round, aggregator memory, and the latency of
+detection / clustering / assignment.  These ledgers collect exactly those
+quantities from the simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+_BYTES_PER_FLOAT = 8
+
+
+@dataclass
+class CommunicationLedger:
+    """Counts protocol bytes by direction and category."""
+
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    by_category: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_model_download(self, num_params: int, num_parties: int = 1) -> None:
+        size = num_params * _BYTES_PER_FLOAT * num_parties
+        self.downlink_bytes += size
+        self.by_category["model_down"] += size
+
+    def record_model_upload(self, num_params: int, num_parties: int = 1) -> None:
+        size = num_params * _BYTES_PER_FLOAT * num_parties
+        self.uplink_bytes += size
+        self.by_category["model_up"] += size
+
+    def record_statistics_upload(self, embedding_rows: int, embedding_dim: int,
+                                 num_classes: int, num_parties: int = 1) -> None:
+        """Shift statistics: embeddings + label histogram + 2 scalar scores."""
+        per_party = (embedding_rows * embedding_dim + num_classes + 2) * _BYTES_PER_FLOAT
+        size = per_party * num_parties
+        self.uplink_bytes += size
+        self.by_category["shift_stats_up"] += size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.uplink_bytes + self.downlink_bytes
+
+    def summary(self) -> dict[str, float]:
+        out = {"uplink_mb": self.uplink_bytes / 1e6,
+               "downlink_mb": self.downlink_bytes / 1e6,
+               "total_mb": self.total_bytes / 1e6}
+        out.update({f"{k}_mb": v / 1e6 for k, v in self.by_category.items()})
+        return out
+
+
+class RuntimeProfiler:
+    """Wall-clock accumulator for named phases (detection, clustering, ...)."""
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = defaultdict(float)
+        self._counts: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] += elapsed
+            self._counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        self._totals[name] += seconds
+        self._counts[name] += 1
+
+    def total_seconds(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def mean_ms(self, name: str) -> float:
+        count = self._counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return 1000.0 * self._totals[name] / count
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "total_s": self._totals[name],
+                "count": float(self._counts[name]),
+                "mean_ms": self.mean_ms(name),
+            }
+            for name in sorted(self._totals)
+        }

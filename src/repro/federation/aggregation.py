@@ -1,0 +1,23 @@
+"""Aggregation rules."""
+
+from __future__ import annotations
+
+from repro.federation.party import LocalUpdate
+from repro.utils.params import Params, weighted_average
+
+
+def fedavg(updates: list[LocalUpdate]) -> Params:
+    """Sample-count-weighted parameter average (McMahan et al., 2017).
+
+    The single aggregation rule both FedAvg and FedProx use server-side
+    (FedProx differs only in the local objective).
+    """
+    if not updates:
+        raise ValueError("fedavg requires at least one update")
+    usable = [u for u in updates if u.num_samples > 0]
+    if not usable:
+        raise ValueError("all updates carry zero samples")
+    return weighted_average(
+        [u.params for u in usable],
+        [float(u.num_samples) for u in usable],
+    )

@@ -1,0 +1,132 @@
+"""Party: one federated client in the simulator.
+
+A party owns its private per-window data, a local model replica, and the
+local operations of the protocol: training on received parameters,
+evaluation on its private test split, penultimate-layer embedding extraction
+(for shift detection), and label-histogram reporting.  Raw samples never
+cross the party boundary — only parameters, statistics, and embeddings, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.federated import PartyWindowData
+from repro.nn.network import Sequential
+from repro.nn.training import LocalTrainingConfig, evaluate, train_local
+from repro.utils.params import Params
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class LocalUpdate:
+    """What a party returns from one local training pass."""
+
+    party_id: int
+    params: Params
+    num_samples: int
+    mean_loss: float
+
+
+class Party:
+    """A federated client with per-window private data."""
+
+    def __init__(self, party_id: int, model: Sequential, num_classes: int,
+                 seed: int = 0) -> None:
+        self.party_id = party_id
+        self.num_classes = num_classes
+        self.seed = seed
+        self._model = model
+        self._data: PartyWindowData | None = None
+
+    # ------------------------------------------------------------------ data plane
+
+    def set_window_data(self, data: PartyWindowData) -> None:
+        if data.party_id != self.party_id:
+            raise ValueError(
+                f"window data for party {data.party_id} given to party {self.party_id}"
+            )
+        self._data = data
+
+    @property
+    def data(self) -> PartyWindowData:
+        if self._data is None:
+            raise RuntimeError(f"party {self.party_id} has no window data yet")
+        return self._data
+
+    @property
+    def has_data(self) -> bool:
+        return self._data is not None
+
+    @property
+    def num_train_samples(self) -> int:
+        return self.data.num_train
+
+    def label_histogram(self) -> np.ndarray:
+        """Normalized train-label histogram (reported to the aggregator)."""
+        return self.data.label_histogram(self.num_classes)
+
+    # ------------------------------------------------------------------ protocol ops
+
+    def local_train(self, params: Params, config: LocalTrainingConfig,
+                    round_tag: object = 0) -> LocalUpdate:
+        """Train a local replica initialized at ``params`` on this window."""
+        self._model.set_params(params)
+        rng = spawn_rng(self.seed, "party-train", self.party_id, round_tag)
+        result = train_local(
+            self._model, self.data.x_train, self.data.y_train, config, rng,
+            global_params=params if config.prox_mu > 0 else None,
+        )
+        return LocalUpdate(
+            party_id=self.party_id,
+            params=result.params,
+            num_samples=result.num_samples,
+            mean_loss=result.mean_loss,
+        )
+
+    def evaluate(self, params: Params, split: str = "test") -> tuple[float, float]:
+        """(accuracy, loss) of ``params`` on this party's local split."""
+        self._model.set_params(params)
+        if split == "test":
+            return evaluate(self._model, self.data.x_test, self.data.y_test)
+        if split == "train":
+            return evaluate(self._model, self.data.x_train, self.data.y_train)
+        raise ValueError("split must be 'test' or 'train'")
+
+    def loss_on(self, params: Params, split: str = "train") -> float:
+        """Local loss of a model — the signal FedDrift clusters on."""
+        _acc, loss = self.evaluate(params, split)
+        return loss
+
+    def embeddings(self, params: Params, split: str = "train",
+                   max_samples: int | None = None) -> np.ndarray:
+        """Penultimate-layer embeddings of this window under ``params``.
+
+        This is Algorithm 1's ``phi(x_i)``: the party-side latent profile
+        P_t(X) shared with the aggregator instead of raw data.
+        """
+        features, _labels = self.embeddings_with_labels(params, split, max_samples)
+        return features
+
+    def embeddings_with_labels(self, params: Params, split: str = "train",
+                               max_samples: int | None = None,
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Embeddings plus their labels — labels never leave the party.
+
+        The label column exists so the party can compute class-conditional
+        detection statistics locally (Algorithm 1); only embeddings, the
+        label *histogram*, and scalar scores are transmitted.
+        """
+        self._model.set_params(params)
+        if split == "train":
+            x, y = self.data.x_train, self.data.y_train
+        else:
+            x, y = self.data.x_test, self.data.y_test
+        if max_samples is not None and x.shape[0] > max_samples:
+            rng = spawn_rng(self.seed, "party-embed", self.party_id, split)
+            idx = rng.choice(x.shape[0], size=max_samples, replace=False)
+            x, y = x[idx], y[idx]
+        return self._model.features(x), np.asarray(y).copy()

@@ -1,0 +1,59 @@
+"""One federated round: select -> broadcast -> local train -> aggregate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.federation.aggregation import fedavg
+from repro.federation.party import Party
+from repro.nn.training import LocalTrainingConfig
+from repro.utils.params import Params
+
+
+@dataclass
+class RoundConfig:
+    """Round-level hyper-parameters shared by all strategies."""
+
+    participants_per_round: int = 10
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+
+    def __post_init__(self) -> None:
+        if self.participants_per_round <= 0:
+            raise ValueError("participants_per_round must be positive")
+
+
+@dataclass
+class RoundStats:
+    """Bookkeeping emitted by one round."""
+
+    participants: list[int]
+    mean_train_loss: float
+    total_samples: int
+
+
+def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
+                 params: Params, config: RoundConfig,
+                 round_tag: object = 0) -> tuple[Params, RoundStats]:
+    """Train ``params`` for one round over the given participants.
+
+    Returns the FedAvg-aggregated parameters and round statistics.  The
+    caller owns participant selection (uniform, OORT, FLIPS, ...) so every
+    strategy can reuse this loop.
+    """
+    if not participant_ids:
+        raise ValueError("cannot run a round with no participants")
+    updates = []
+    for party_id in participant_ids:
+        if party_id not in parties:
+            raise KeyError(f"unknown party id {party_id}")
+        updates.append(parties[party_id].local_train(params, config.local, round_tag))
+    new_params = fedavg(updates)
+    losses = [u.mean_loss for u in updates if np.isfinite(u.mean_loss)]
+    stats = RoundStats(
+        participants=list(participant_ids),
+        mean_train_loss=float(np.mean(losses)) if losses else float("nan"),
+        total_samples=int(sum(u.num_samples for u in updates)),
+    )
+    return new_params, stats

@@ -1,0 +1,109 @@
+"""The continual-FL strategy interface every method implements.
+
+A strategy owns its server-side state (global model, experts, clusters, ...)
+across windows.  The harness drives it through the window/round life cycle:
+
+    strategy.setup(ctx)
+    for window in windows:
+        feed parties their window data
+        strategy.start_window(window)            # shift reaction happens here
+        for each round:
+            strategy.run_round(window, round)    # one FL round
+            evaluate: strategy.params_for_party(p) on every party's test set
+
+``params_for_party`` is the per-party inference model: the single global
+model for FedProx/OORT, the cluster model for Fielding/FedDrift, the
+assigned expert for ShiftEx — matching the paper's party-level inference
+story (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.registry import DatasetSpec
+from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
+from repro.federation.party import Party
+from repro.federation.rounds import RoundConfig
+from repro.nn.network import Sequential
+from repro.utils.params import Params
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class StrategyContext:
+    """Everything a strategy needs from the environment."""
+
+    spec: DatasetSpec
+    parties: dict[int, Party]
+    model_factory: Callable[[], Sequential]
+    round_config: RoundConfig
+    seed: int = 0
+    reference_embedding_source: Callable[[], np.ndarray] | None = None
+    ledger: CommunicationLedger = field(default_factory=CommunicationLedger)
+    profiler: RuntimeProfiler = field(default_factory=RuntimeProfiler)
+
+    def rng(self, *labels: object) -> np.random.Generator:
+        return spawn_rng(self.seed, *labels)
+
+    def new_model_params(self, *labels: object) -> Params:
+        """Freshly initialized model parameters (deterministic per label)."""
+        # The factory uses its own seed; labels namespace repeated calls.
+        model = self.model_factory()
+        return model.get_params()
+
+
+class ContinualStrategy:
+    """Base class; subclasses override the window/round hooks."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.ctx: StrategyContext | None = None
+
+    # ------------------------------------------------------------------ life cycle
+
+    def setup(self, ctx: StrategyContext) -> None:
+        """Bind the environment and initialize server-side state."""
+        self.ctx = ctx
+
+    def start_window(self, window: int) -> None:
+        """React to a new window (parties already hold the new data)."""
+
+    def run_round(self, window: int, round_index: int) -> None:
+        """Execute one federated training round."""
+        raise NotImplementedError
+
+    def end_window(self, window: int) -> None:
+        """Hook after a window's last round (snapshot state, update memory)."""
+
+    def params_for_party(self, party_id: int) -> Params:
+        """Inference parameters for one party (its assigned model)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ helpers
+
+    @property
+    def context(self) -> StrategyContext:
+        if self.ctx is None:
+            raise RuntimeError(f"strategy '{self.name}' is not set up")
+        return self.ctx
+
+    def evaluate_all_parties(self) -> dict[int, float]:
+        """Per-party test accuracy under each party's assigned model."""
+        ctx = self.context
+        return {
+            pid: party.evaluate(self.params_for_party(pid))[0]
+            for pid, party in ctx.parties.items()
+        }
+
+    def mean_accuracy(self) -> float:
+        accs = self.evaluate_all_parties()
+        return float(np.mean(list(accs.values())))
+
+    def describe_state(self) -> dict:
+        """Strategy-specific state summary (expert counts etc.)."""
+        return {}

@@ -1,0 +1,38 @@
+"""Experiment harness: scenarios, runners, tables and figure series.
+
+Maps the paper's evaluation (Section 6/7) onto the simulator:
+
+* :mod:`~repro.harness.profiles` — scale profiles (``ci`` for fast runs,
+  ``paper`` for full party counts);
+* :mod:`~repro.harness.runner` — drives one strategy through the window/round
+  life cycle and records accuracy series;
+* :mod:`~repro.harness.comparison` — multi-strategy, multi-seed comparisons
+  plus renderers for Tables 1-2 and the series behind Figures 3-8.
+"""
+
+from repro.harness.profiles import RunSettings, get_profile, profile_names
+from repro.harness.runner import StrategyRunResult, run_strategy
+from repro.harness.comparison import (
+    ComparisonResult,
+    default_strategies,
+    run_comparison,
+    render_drop_time_max_table,
+    convergence_series,
+    max_accuracy_table,
+    expert_distribution_table,
+)
+
+__all__ = [
+    "RunSettings",
+    "get_profile",
+    "profile_names",
+    "StrategyRunResult",
+    "run_strategy",
+    "ComparisonResult",
+    "default_strategies",
+    "run_comparison",
+    "render_drop_time_max_table",
+    "convergence_series",
+    "max_accuracy_table",
+    "expert_distribution_table",
+]

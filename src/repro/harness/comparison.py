@@ -1,0 +1,143 @@
+"""Multi-strategy, multi-seed comparisons and paper-style renderers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import build_baseline
+from repro.core import ShiftExStrategy
+from repro.federation.strategy import ContinualStrategy
+from repro.harness.profiles import get_profile
+from repro.harness.runner import StrategyRunResult, run_strategy
+from repro.metrics.aggregate import MetricAggregate, aggregate_summaries
+
+StrategyFactory = Callable[[], ContinualStrategy]
+
+# Display order used by the paper's tables.
+PAPER_METHODS = ("fedprox", "fielding", "oort", "shiftex", "feddrift")
+
+
+def default_strategies(methods: tuple[str, ...] = PAPER_METHODS,
+                       ) -> dict[str, StrategyFactory]:
+    """Factories for the paper's five compared techniques."""
+    factories: dict[str, StrategyFactory] = {}
+    for name in methods:
+        if name == "shiftex":
+            factories[name] = ShiftExStrategy
+        else:
+            factories[name] = (lambda n=name: build_baseline(n))
+    return factories
+
+
+@dataclass
+class ComparisonResult:
+    """All runs of one dataset comparison plus per-strategy aggregates."""
+
+    dataset: str
+    profile: str
+    seeds: tuple[int, ...]
+    runs: dict[str, list[StrategyRunResult]] = field(default_factory=dict)
+    aggregates: dict[str, list[MetricAggregate]] = field(default_factory=dict)
+
+    @property
+    def strategy_names(self) -> list[str]:
+        return list(self.runs)
+
+    def num_windows(self) -> int:
+        first = next(iter(self.runs.values()))[0]
+        return len(first.window_series)
+
+
+def run_comparison(dataset: str,
+                   strategies: dict[str, StrategyFactory] | None = None,
+                   profile: str = "ci",
+                   seeds: tuple[int, ...] = (0,),
+                   settings_override=None,
+                   spec_override=None) -> ComparisonResult:
+    """Run every strategy over every seed on one dataset."""
+    if strategies is None:
+        strategies = default_strategies()
+    spec, settings = get_profile(profile, dataset)
+    if spec_override is not None:
+        spec = spec_override
+    if settings_override is not None:
+        settings = settings_override
+    result = ComparisonResult(dataset=dataset, profile=profile, seeds=tuple(seeds))
+    for name, factory in strategies.items():
+        runs = []
+        for seed in seeds:
+            strategy = factory()
+            runs.append(run_strategy(strategy, spec, settings, seed=seed))
+        result.runs[name] = runs
+        result.aggregates[name] = aggregate_summaries([r.summaries for r in runs])
+    return result
+
+
+# ---------------------------------------------------------------------- renderers
+
+def render_drop_time_max_table(result: ComparisonResult, title: str = "") -> str:
+    """Render a Table 1/2-style block: rows = methods, cells = Drop/Time/Max."""
+    n_windows = result.num_windows() - 1  # exclude burn-in
+    header_cells = "".join(
+        f"| W{w} Drop | W{w} Time | W{w} Max " for w in range(1, n_windows + 1)
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"| Tech. {header_cells}|")
+    lines.append("|" + "---|" * (1 + 3 * n_windows))
+    for name, aggregates in result.aggregates.items():
+        cells = []
+        for agg in aggregates:
+            drop = f"{agg.drop_mean:.2f}±{agg.drop_std:.2f}"
+            time = agg.recovery_label()
+            top = f"{agg.max_mean:.2f}±{agg.max_std:.2f}"
+            cells.extend([drop, time, top])
+        lines.append("| " + name + " | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def convergence_series(result: ComparisonResult) -> dict[str, list[float]]:
+    """Mean (over seeds) concatenated accuracy traces — Figures 3-4 series."""
+    out: dict[str, list[float]] = {}
+    for name, runs in result.runs.items():
+        traces = np.array([run.flat_series for run in runs])
+        out[name] = [float(v) for v in traces.mean(axis=0)]
+    return out
+
+
+def max_accuracy_table(result: ComparisonResult) -> dict[str, list[tuple[float, float]]]:
+    """(mean, std) max accuracy per window per strategy — Figures 5-6 series."""
+    out: dict[str, list[tuple[float, float]]] = {}
+    for name, runs in result.runs.items():
+        per_window = np.array([run.max_accuracy_per_window for run in runs])
+        means = per_window.mean(axis=0)
+        stds = per_window.std(axis=0, ddof=1) if len(runs) > 1 else np.zeros_like(means)
+        out[name] = [(float(m), float(s)) for m, s in zip(means, stds)]
+    return out
+
+
+def expert_distribution_table(result: ComparisonResult,
+                              strategy: str = "shiftex") -> list[dict[int, int]]:
+    """Per-window expert -> party-count maps (Figures 7-8), first seed."""
+    runs = result.runs.get(strategy)
+    if not runs:
+        raise KeyError(f"no runs recorded for strategy '{strategy}'")
+    history = runs[0].expert_history
+    if history is None:
+        raise ValueError(f"strategy '{strategy}' does not track expert assignments")
+    return history
+
+
+def render_expert_distribution(history: list[dict[int, int]]) -> str:
+    """ASCII rendering of the Figures 7-8 stacked-assignment chart."""
+    expert_ids = sorted({eid for dist in history for eid in dist})
+    lines = ["window | " + " | ".join(f"expert {e}" for e in expert_ids)]
+    lines.append("-------|" + "|".join(["---------"] * len(expert_ids)))
+    for window, dist in enumerate(history):
+        cells = [str(dist.get(e, 0)) for e in expert_ids]
+        lines.append(f"  W{window}   | " + " | ".join(cells))
+    return "\n".join(lines)

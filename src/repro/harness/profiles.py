@@ -1,0 +1,88 @@
+"""Scale profiles: the paper's configuration vs fast simulator settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.data.registry import DatasetSpec, get_dataset_spec
+from repro.federation.rounds import RoundConfig
+from repro.nn.training import LocalTrainingConfig
+
+_PROFILE_NAMES = ("ci", "small", "paper")
+
+
+@dataclass
+class RunSettings:
+    """How many rounds/participants a run uses and how it evaluates."""
+
+    rounds_burn_in: int = 6
+    rounds_per_window: int = 6
+    round_config: RoundConfig = field(default_factory=RoundConfig)
+    eval_parties: int | None = None  # None = evaluate every party
+
+    def __post_init__(self) -> None:
+        if self.rounds_burn_in <= 0 or self.rounds_per_window <= 0:
+            raise ValueError("round counts must be positive")
+        if self.eval_parties is not None and self.eval_parties <= 0:
+            raise ValueError("eval_parties must be positive when given")
+
+    def rounds_for_window(self, window: int) -> int:
+        return self.rounds_burn_in if window == 0 else self.rounds_per_window
+
+    def scaled_rounds(self, factor: float) -> "RunSettings":
+        return replace(
+            self,
+            rounds_burn_in=max(1, int(round(self.rounds_burn_in * factor))),
+            rounds_per_window=max(1, int(round(self.rounds_per_window * factor))),
+        )
+
+
+def profile_names() -> tuple[str, ...]:
+    return _PROFILE_NAMES
+
+
+def _local(epochs: int = 3, lr: float = 0.05) -> LocalTrainingConfig:
+    return LocalTrainingConfig(epochs=epochs, batch_size=8, lr=lr, momentum=0.9)
+
+
+def get_profile(profile: str, dataset: str) -> tuple[DatasetSpec, RunSettings]:
+    """Resolve (scaled dataset spec, run settings) for a profile.
+
+    * ``ci``    — seconds-scale: few parties, short windows.  The default for
+      tests and benches.
+    * ``small`` — minutes-scale: more parties/rounds, sharper separation
+      between methods.
+    * ``paper`` — the paper's party counts (50/200) with laptop-sized rounds.
+    """
+    spec = get_dataset_spec(dataset)
+    if profile == "ci":
+        parties = 16 if spec.num_parties <= 50 else 24
+        spec = spec.scaled(num_parties=parties, train_per_window=48,
+                           test_per_window=24)
+        settings = RunSettings(
+            rounds_burn_in=10,
+            rounds_per_window=6,
+            round_config=RoundConfig(participants_per_round=8,
+                                     local=_local(epochs=3)),
+            eval_parties=None,
+        )
+    elif profile == "small":
+        parties = 24 if spec.num_parties <= 50 else 48
+        spec = spec.scaled(num_parties=parties, train_per_window=48,
+                           test_per_window=24)
+        settings = RunSettings(
+            rounds_burn_in=10,
+            rounds_per_window=8,
+            round_config=RoundConfig(participants_per_round=10, local=_local()),
+            eval_parties=None,
+        )
+    elif profile == "paper":
+        settings = RunSettings(
+            rounds_burn_in=15,
+            rounds_per_window=12,
+            round_config=RoundConfig(participants_per_round=20, local=_local()),
+            eval_parties=48 if spec.num_parties > 48 else None,
+        )
+    else:
+        raise KeyError(f"unknown profile '{profile}'; available: {_PROFILE_NAMES}")
+    return spec, settings

@@ -1,0 +1,124 @@
+"""Drive one strategy through the continual-FL life cycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.federated import FederatedShiftDataset
+from repro.data.registry import DatasetSpec
+from repro.federation.party import Party
+from repro.federation.strategy import ContinualStrategy, StrategyContext
+from repro.harness.profiles import RunSettings
+from repro.metrics.windows import WindowSummary, summarize_run
+from repro.nn.models import build_model
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class StrategyRunResult:
+    """Everything one run produces: series, summaries, state, overheads."""
+
+    strategy_name: str
+    dataset: str
+    seed: int
+    window_series: list[list[float]]  # accuracy (%) per window: entry + per round
+    summaries: list[WindowSummary]
+    state_log: list[dict]  # describe_state() at each window end
+    expert_history: list[dict[int, int]] | None  # ShiftEx expert distributions
+    ledger_summary: dict[str, float]
+    profiler_summary: dict[str, dict[str, float]]
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def flat_series(self) -> list[float]:
+        """Concatenated accuracy trace across windows (Figures 3-4)."""
+        return [a for series in self.window_series for a in series]
+
+    @property
+    def max_accuracy_per_window(self) -> list[float]:
+        return [max(series) for series in self.window_series]
+
+
+def _build_parties(spec: DatasetSpec, seed: int) -> dict[int, Party]:
+    parties: dict[int, Party] = {}
+    for pid in range(spec.num_parties):
+        model = build_model(spec.model_name, spec.input_shape, spec.num_classes,
+                            spawn_rng(seed, "party-model", pid))
+        parties[pid] = Party(pid, model, spec.num_classes, seed=seed)
+    return parties
+
+
+def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
+                 settings: RunSettings, seed: int = 0,
+                 dataset: FederatedShiftDataset | None = None,
+                 ) -> StrategyRunResult:
+    """Run one strategy over every window of a dataset spec.
+
+    Per window: feed parties their new data, let the strategy react
+    (``start_window``), evaluate the post-shift entry accuracy, train for the
+    window's rounds evaluating after each, then close the window.  Returns
+    accuracy in percent.
+    """
+    ds = dataset if dataset is not None else FederatedShiftDataset(spec)
+    parties = _build_parties(spec, seed)
+
+    def model_factory():
+        return build_model(spec.model_name, spec.input_shape, spec.num_classes,
+                           spawn_rng(seed, "global-model-init"))
+
+    ctx = StrategyContext(
+        spec=spec,
+        parties=parties,
+        model_factory=model_factory,
+        round_config=settings.round_config,
+        seed=seed,
+    )
+    strategy.setup(ctx)
+
+    if settings.eval_parties is not None and settings.eval_parties < spec.num_parties:
+        eval_rng = spawn_rng(seed, "eval-subset")
+        eval_ids = sorted(int(p) for p in eval_rng.choice(
+            spec.num_parties, size=settings.eval_parties, replace=False))
+    else:
+        eval_ids = sorted(parties)
+
+    def mean_accuracy_pct() -> float:
+        accs = [parties[pid].evaluate(strategy.params_for_party(pid))[0]
+                for pid in eval_ids]
+        return 100.0 * float(np.mean(accs))
+
+    window_series: list[list[float]] = []
+    state_log: list[dict] = []
+    expert_history: list[dict[int, int]] | None = None
+
+    for window in range(spec.num_windows):
+        for pid in range(spec.num_parties):
+            parties[pid].set_window_data(ds.party_window(pid, window))
+        strategy.start_window(window)
+        series = [mean_accuracy_pct()]
+        for round_index in range(settings.rounds_for_window(window)):
+            strategy.run_round(window, round_index)
+            series.append(mean_accuracy_pct())
+        strategy.end_window(window)
+        window_series.append(series)
+        state = strategy.describe_state()
+        state_log.append(state)
+        if hasattr(strategy, "expert_distribution"):
+            if expert_history is None:
+                expert_history = []
+            expert_history.append(dict(strategy.expert_distribution()))
+        ds.evict_window(window)
+
+    return StrategyRunResult(
+        strategy_name=strategy.name,
+        dataset=spec.name,
+        seed=seed,
+        window_series=window_series,
+        summaries=summarize_run(window_series),
+        state_log=state_log,
+        expert_history=expert_history,
+        ledger_summary=ctx.ledger.summary(),
+        profiler_summary=ctx.profiler.summary(),
+    )

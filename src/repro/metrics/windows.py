@@ -1,0 +1,102 @@
+"""Per-window metric computation from accuracy series.
+
+A window's series is ``[entry_accuracy, acc_after_round_1, ..., acc_after_round_R]``:
+index 0 is measured right after the shift (before any adaptation), so
+
+* drop  = pre_shift_accuracy - series[0]
+* time  = smallest r with series[r] >= recovery_ratio * pre_shift_accuracy
+* max   = max(series)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Drop / Time / Max for one window (the cells of Tables 1-2)."""
+
+    window: int
+    accuracy_drop: float
+    recovery_rounds: int | None  # None = did not recover within the window
+    max_accuracy: float
+    pre_shift_accuracy: float
+    rounds: int
+
+    def recovery_label(self) -> str:
+        """Human-readable recovery time (``'>R'`` when unrecovered)."""
+        if self.recovery_rounds is None:
+            return f">{self.rounds}"
+        return str(self.recovery_rounds)
+
+
+def _check_series(series: list[float]) -> list[float]:
+    if not series:
+        raise ValueError("accuracy series must be non-empty")
+    if any(not np.isfinite(a) for a in series):
+        raise ValueError("accuracy series contains non-finite values")
+    return [float(a) for a in series]
+
+
+def accuracy_drop(pre_shift_accuracy: float, series: list[float]) -> float:
+    """Immediate post-shift decline (percentage points when accs are in %)."""
+    series = _check_series(series)
+    return float(pre_shift_accuracy - series[0])
+
+
+def recovery_time(pre_shift_accuracy: float, series: list[float],
+                  recovery_ratio: float = 0.95) -> int | None:
+    """Rounds until accuracy regains ``recovery_ratio`` of pre-shift level.
+
+    Index 0 of the series is the entry evaluation (0 rounds of adaptation).
+    Returns ``None`` when the target is never reached.
+    """
+    if not 0.0 < recovery_ratio <= 1.0:
+        raise ValueError("recovery_ratio must be in (0, 1]")
+    series = _check_series(series)
+    target = recovery_ratio * pre_shift_accuracy
+    for rounds, accuracy in enumerate(series):
+        if accuracy >= target:
+            return rounds
+    return None
+
+
+def max_accuracy(series: list[float]) -> float:
+    return float(max(_check_series(series)))
+
+
+def summarize_window(window: int, pre_shift_accuracy: float,
+                     series: list[float],
+                     recovery_ratio: float = 0.95) -> WindowSummary:
+    """Compute the full Drop/Time/Max summary for one window."""
+    series = _check_series(series)
+    return WindowSummary(
+        window=window,
+        accuracy_drop=accuracy_drop(pre_shift_accuracy, series),
+        recovery_rounds=recovery_time(pre_shift_accuracy, series, recovery_ratio),
+        max_accuracy=max_accuracy(series),
+        pre_shift_accuracy=float(pre_shift_accuracy),
+        rounds=len(series) - 1,
+    )
+
+
+def summarize_run(window_series: list[list[float]],
+                  recovery_ratio: float = 0.95) -> list[WindowSummary]:
+    """Summarize windows 1..N of a run (window 0 is burn-in).
+
+    The pre-shift reference of window ``w`` is the last evaluation of window
+    ``w-1``.
+    """
+    if len(window_series) < 2:
+        raise ValueError("need at least a burn-in window plus one shift window")
+    summaries: list[WindowSummary] = []
+    for window in range(1, len(window_series)):
+        pre_shift = _check_series(window_series[window - 1])[-1]
+        summaries.append(
+            summarize_window(window, pre_shift, window_series[window],
+                             recovery_ratio)
+        )
+    return summaries

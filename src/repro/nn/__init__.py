@@ -1,0 +1,59 @@
+"""Pure-numpy neural network substrate.
+
+The paper trains LeNet-5 / ResNet / DenseNet clients in PyTorch; this package
+provides the equivalent substrate at simulator scale: explicitly
+differentiated layers, a :class:`~repro.nn.network.Sequential` container
+exposing both logits and the penultimate-layer *features* ShiftEx uses for
+covariate-shift detection, and a local SGD/FedProx training loop.
+
+All layers are gradient-checked in the test suite against central finite
+differences.
+"""
+
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    ReLU,
+    Tanh,
+    Conv2d,
+    MaxPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+    BatchNorm,
+)
+from repro.nn.losses import softmax_cross_entropy, softmax_probs
+from repro.nn.optim import SGD, Adam
+from repro.nn.network import Sequential
+from repro.nn.models import build_model, model_names, embedding_dim
+from repro.nn.residual import ResidualBlock, build_resnet_mini
+from repro.nn.training import LocalTrainingConfig, train_local, evaluate
+from repro.nn.gradcheck import numerical_gradients, max_grad_error
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Conv2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "softmax_cross_entropy",
+    "softmax_probs",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "build_model",
+    "ResidualBlock",
+    "build_resnet_mini",
+    "model_names",
+    "embedding_dim",
+    "LocalTrainingConfig",
+    "train_local",
+    "evaluate",
+    "numerical_gradients",
+    "max_grad_error",
+]

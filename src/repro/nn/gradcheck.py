@@ -1,0 +1,60 @@
+"""Finite-difference gradient checking for the layer library.
+
+Used by the test suite to verify every layer's analytic backward pass against
+central differences of the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.network import Sequential
+
+
+def _loss_of(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
+    logits = model.forward(x, training=False)
+    loss, _ = softmax_cross_entropy(logits, y)
+    return loss
+
+
+def numerical_gradients(model: Sequential, x: np.ndarray, y: np.ndarray,
+                        eps: float = 1e-5) -> list[np.ndarray]:
+    """Central-difference gradients of mean CE loss w.r.t. every parameter."""
+    grads: list[np.ndarray] = []
+    for param in model.params:
+        grad = np.zeros_like(param)
+        it = np.nditer(param, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = param[idx]
+            param[idx] = orig + eps
+            loss_plus = _loss_of(model, x, y)
+            param[idx] = orig - eps
+            loss_minus = _loss_of(model, x, y)
+            param[idx] = orig
+            grad[idx] = (loss_plus - loss_minus) / (2 * eps)
+            it.iternext()
+        grads.append(grad)
+    return grads
+
+
+def analytic_gradients(model: Sequential, x: np.ndarray, y: np.ndarray) -> list[np.ndarray]:
+    """Backprop gradients of mean CE loss (training-mode forward)."""
+    model.zero_grads()
+    logits = model.forward(x, training=True)
+    _, grad = softmax_cross_entropy(logits, y)
+    model.backward(grad)
+    return [g.copy() for g in model.grads]
+
+
+def max_grad_error(model: Sequential, x: np.ndarray, y: np.ndarray,
+                   eps: float = 1e-5) -> float:
+    """Max relative error between analytic and numerical gradients."""
+    analytic = analytic_gradients(model, x, y)
+    numeric = numerical_gradients(model, x, y, eps=eps)
+    worst = 0.0
+    for a, n in zip(analytic, numeric):
+        denom = np.maximum(np.abs(a) + np.abs(n), 1e-8)
+        worst = max(worst, float(np.max(np.abs(a - n) / denom)))
+    return worst

@@ -1,0 +1,377 @@
+"""Explicitly differentiated layers.
+
+Every layer implements ``forward(x, training)`` and ``backward(grad_out)``;
+``backward`` returns the gradient with respect to the layer input and stores
+parameter gradients in ``layer.grads`` (aligned with ``layer.params``).
+Convolution uses im2col so the heavy lifting stays inside BLAS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base class: a differentiable module with (possibly empty) parameters."""
+
+    def __init__(self) -> None:
+        self.params: list[np.ndarray] = []
+        self.grads: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for g in self.grads:
+            g.fill(0.0)
+
+    def output_note(self) -> str:
+        """Short human-readable description used in ``Sequential.describe``."""
+        return type(self).__name__
+
+
+def _he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    scale = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, scale, size=shape)
+
+
+class Standardize(Layer):
+    """Fixed affine input normalization ``y = (x - shift) * scale``.
+
+    Image pipelines emit pixels in [0, 1]; this layer centers them so the
+    first trainable layer sees zero-mean inputs.  It holds no parameters and
+    is therefore invisible to federated averaging.
+    """
+
+    def __init__(self, shift: float = 0.5, scale: float = 2.0) -> None:
+        super().__init__()
+        self.shift = shift
+        self.scale = scale
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return (x - self.shift) * self.scale
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self.scale
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        weight = _he_init(rng, (in_features, out_features), in_features)
+        bias = np.zeros(out_features)
+        self.params = [weight, bias]
+        self.grads = [np.zeros_like(weight), np.zeros_like(bias)]
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input (n, {self.in_features}); got {x.shape}"
+            )
+        self._x = x if training else None
+        return x @ self.params[0] + self.params[1]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        self.grads[0] += self._x.T @ grad_out
+        self.grads[1] += grad_out.sum(axis=0)
+        return grad_out @ self.params[0].T
+
+    def output_note(self) -> str:
+        return f"Dense({self.in_features}->{self.out_features})"
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if training else None
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = np.tanh(x)
+        self._y = y if training else None
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out * (1.0 - self._y ** 2)
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature axis of a 2-D input.
+
+    Running statistics are part of ``state`` (not ``params``) so federated
+    averaging of parameters does not mix them; they are carried alongside in
+    the extra-state API used by :class:`~repro.nn.network.Sequential`.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        gamma = np.ones(num_features)
+        beta = np.zeros(num_features)
+        self.params = [gamma, beta]
+        self.grads = [np.zeros_like(gamma), np.zeros_like(beta)]
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(f"BatchNorm expected (n, {self.num_features}); got {x.shape}")
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        if training:
+            self._cache = (x_hat, inv_std, x - mean)
+        return x_hat * self.params[0] + self.params[1]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_hat, inv_std, _centered = self._cache
+        n = grad_out.shape[0]
+        self.grads[0] += (grad_out * x_hat).sum(axis=0)
+        self.grads[1] += grad_out.sum(axis=0)
+        gamma = self.params[0]
+        dxhat = grad_out * gamma
+        return (inv_std / n) * (
+            n * dxhat - dxhat.sum(axis=0) - x_hat * (dxhat * x_hat).sum(axis=0)
+        )
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean.copy(), "running_var": self.running_var.copy()}
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        self.running_mean = state["running_mean"].copy()
+        self.running_var = state["running_var"].copy()
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> tuple[np.ndarray, int, int]:
+    """Expand (n, c, h, w) into columns of receptive fields.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(n * out_h * out_w, c * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride,
+                 strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+            kh: int, kw: int, stride: int, pad: int,
+            out_h: int, out_w: int) -> np.ndarray:
+    """Scatter-add column gradients back to the (padded) input."""
+    n, c, h, w = x_shape
+    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            x_padded[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += (
+                cols6[:, :, :, :, i, j]
+            )
+    if pad:
+        return x_padded[:, :, pad:-pad, pad:-pad]
+    return x_padded
+
+
+class Conv2d(Layer):
+    """2-D convolution (NCHW) via im2col."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, stride: int = 1, padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution hyper-parameters")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        weight = _he_init(rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in)
+        bias = np.zeros(out_channels)
+        self.params = [weight, bias]
+        self.grads = [np.zeros_like(weight), np.zeros_like(bias)]
+        self._cache: tuple[np.ndarray, tuple[int, int, int, int], int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (n, {self.in_channels}, h, w); got {x.shape}"
+            )
+        k = self.kernel_size
+        cols, out_h, out_w = _im2col(x, k, k, self.stride, self.padding)
+        w_mat = self.params[0].reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.params[1]
+        n = x.shape[0]
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (cols, x.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        cols, x_shape, out_h, out_w = self._cache
+        k = self.kernel_size
+        n = x_shape[0]
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        self.grads[0] += (grad_mat.T @ cols).reshape(self.params[0].shape)
+        self.grads[1] += grad_mat.sum(axis=0)
+        w_mat = self.params[0].reshape(self.out_channels, -1)
+        grad_cols = grad_mat @ w_mat
+        return _col2im(grad_cols, x_shape, k, k, self.stride, self.padding, out_h, out_w)
+
+    def output_note(self) -> str:
+        return (f"Conv2d({self.in_channels}->{self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
+
+
+class MaxPool2d(Layer):
+    """Max pooling (NCHW) with square window; window must tile the input."""
+
+    def __init__(self, pool_size: int) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        p = self.pool_size
+        n, c, h, w = x.shape
+        if h % p or w % p:
+            raise ValueError(f"input {h}x{w} not divisible by pool size {p}")
+        xr = x.reshape(n, c, h // p, p, w // p, p)
+        out = xr.max(axis=(3, 5))
+        if training:
+            mask = (xr == out[:, :, :, None, :, None])
+            # Group the two within-window axes together, then break ties so
+            # gradient flows to exactly one element per window.
+            windows = mask.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h // p, w // p, p * p)
+            cum = np.cumsum(windows, axis=-1)
+            first = (cum == 1) & windows
+            self._cache = (first, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        first, x_shape = self._cache
+        n, c, h, w = x_shape
+        p = self.pool_size
+        grad = first * grad_out[:, :, :, :, None]
+        grad = grad.reshape(n, c, h // p, w // p, p, p).transpose(0, 1, 2, 4, 3, 5)
+        return grad.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Layer):
+    """Global average pooling: (n, c, h, w) -> (n, c).
+
+    This is the embedding layer of the paper's ResNet/DenseNet encoders; the
+    features ShiftEx extracts are exactly the output of this layer.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._shape
+        return np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), (n, c, h, w)
+        ).copy()

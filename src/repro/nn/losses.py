@@ -1,0 +1,43 @@
+"""Losses: numerically stable softmax cross-entropy with integer labels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax_probs(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of a (n, k) logit matrix."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and gradient w.r.t. logits.
+
+    Parameters
+    ----------
+    logits : (n, k) float array.
+    labels : (n,) int array of class indices in [0, k).
+
+    Returns
+    -------
+    (loss, grad) where ``grad`` has shape (n, k) and already includes the
+    1/n factor, so it can be fed directly into ``Sequential.backward``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D; got {logits.shape}")
+    n, k = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels must have shape ({n},); got {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= k):
+        raise ValueError(f"labels out of range [0, {k})")
+    probs = softmax_probs(logits)
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad

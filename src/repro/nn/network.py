@@ -1,0 +1,125 @@
+"""Sequential network container with penultimate-feature extraction.
+
+ShiftEx needs two things from a model beyond plain classification:
+
+* ``features(x)`` — the penultimate (pre-logit) activations, which parties use
+  as latent representations for MMD-based covariate shift detection
+  (paper Section 4.2);
+* flat parameter get/set — so the aggregator can FedAvg, compute cosine
+  similarity between experts, and clone expert models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm, Layer
+from repro.utils.params import Params, flatten_params, unflatten_params
+
+
+class Sequential:
+    """An ordered stack of layers; the last layer produces logits.
+
+    Parameters
+    ----------
+    layers : the layer stack.  By convention the final layer is the
+        classification head, and ``features`` returns the input to it.
+    feature_index : index of the layer whose *input* is the feature/embedding
+        vector.  Defaults to the last layer (the classifier head).
+    """
+
+    def __init__(self, layers: list[Layer], feature_index: int | None = None) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = layers
+        self.feature_index = len(layers) - 1 if feature_index is None else feature_index
+        if not 0 <= self.feature_index < len(layers):
+            raise ValueError("feature_index out of range")
+
+    # ------------------------------------------------------------------ forward/backward
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Penultimate-layer activations (inference mode)."""
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers[: self.feature_index]:
+            out = layer.forward(out, training=False)
+        if out.ndim > 2:
+            out = out.reshape(out.shape[0], -1)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x, training=False), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        if len(y) == 0:
+            raise ValueError("cannot compute accuracy on an empty set")
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    # ------------------------------------------------------------------ parameters
+
+    @property
+    def params(self) -> Params:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> Params:
+        return [g for layer in self.layers for g in layer.grads]
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def get_params(self) -> Params:
+        """Deep copy of the parameter list."""
+        return [p.copy() for p in self.params]
+
+    def set_params(self, params: Params) -> None:
+        own = self.params
+        if len(own) != len(params):
+            raise ValueError(
+                f"parameter list length mismatch: model has {len(own)}, got {len(params)}"
+            )
+        for dst, src in zip(own, params):
+            if dst.shape != src.shape:
+                raise ValueError(f"parameter shape mismatch: {dst.shape} vs {src.shape}")
+            dst[...] = src
+
+    def get_flat_params(self) -> np.ndarray:
+        return flatten_params(self.params)
+
+    def set_flat_params(self, vector: np.ndarray) -> None:
+        self.set_params(unflatten_params(vector, self.params))
+
+    @property
+    def num_params(self) -> int:
+        return int(sum(p.size for p in self.params))
+
+    # ------------------------------------------------------------------ extra state
+
+    def extra_state(self) -> list[dict[str, np.ndarray]]:
+        """Non-parameter state (BatchNorm running statistics)."""
+        return [
+            layer.extra_state() if isinstance(layer, BatchNorm) else {}
+            for layer in self.layers
+        ]
+
+    def load_extra_state(self, state: list[dict[str, np.ndarray]]) -> None:
+        if len(state) != len(self.layers):
+            raise ValueError("extra state length mismatch")
+        for layer, st in zip(self.layers, state):
+            if isinstance(layer, BatchNorm) and st:
+                layer.load_extra_state(st)
+
+    def describe(self) -> str:
+        return " -> ".join(layer.output_note() for layer in self.layers)

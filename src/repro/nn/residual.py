@@ -1,0 +1,113 @@
+"""Residual blocks and the resnet_mini model (ResNet-18 analogue).
+
+The paper's CIFAR/Tiny-ImageNet clients are ResNets; ``resnet_mini`` brings
+the same structural ingredient — identity skip connections around conv
+blocks — to the simulator's scale.  ``ResidualBlock`` is a composite layer:
+``y = relu(conv2(relu(conv1(x))) + shortcut(x))`` with an optional 1x1
+projection shortcut when channel counts change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense, GlobalAvgPool2d, Layer, ReLU, Standardize
+from repro.nn.network import Sequential
+
+
+class ResidualBlock(Layer):
+    """Two 3x3 convs with an identity (or 1x1-projection) skip connection."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, rng, padding=1)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, rng, padding=1)
+        self.relu_out = ReLU()
+        self.projection: Conv2d | None = None
+        if in_channels != out_channels:
+            self.projection = Conv2d(in_channels, out_channels, 1, rng)
+        self._sublayers: list[Layer] = [self.conv1, self.relu1, self.conv2]
+        if self.projection is not None:
+            self._sublayers.append(self.projection)
+        self._sublayers.append(self.relu_out)
+
+    # Composite parameter plumbing: expose sublayer params/grads flattened in
+    # a stable order so FedAvg / flatten_params treat the block uniformly.
+    @property
+    def params(self) -> list[np.ndarray]:  # type: ignore[override]
+        return [p for layer in self._sublayers for p in layer.params]
+
+    @params.setter
+    def params(self, value: list[np.ndarray]) -> None:
+        # Base Layer.__init__ assigns []; composite blocks own their
+        # sublayers' arrays, so the assignment is a no-op by design.
+        if value:
+            raise AttributeError("assign through sublayer params instead")
+
+    @property
+    def grads(self) -> list[np.ndarray]:  # type: ignore[override]
+        return [g for layer in self._sublayers for g in layer.grads]
+
+    @grads.setter
+    def grads(self, value: list[np.ndarray]) -> None:
+        if value:
+            raise AttributeError("assign through sublayer grads instead")
+
+    def zero_grads(self) -> None:
+        for layer in self._sublayers:
+            layer.zero_grads()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = self.conv1.forward(x, training)
+        out = self.relu1.forward(out, training)
+        out = self.conv2.forward(out, training)
+        if self.projection is not None:
+            shortcut = self.projection.forward(x, training)
+        else:
+            shortcut = x
+        return self.relu_out.forward(out + shortcut, training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu_out.backward(grad_out)
+        # Branch 1: conv path.
+        grad = self.conv2.backward(grad_sum)
+        grad = self.relu1.backward(grad)
+        grad_input = self.conv1.backward(grad)
+        # Branch 2: skip path.
+        if self.projection is not None:
+            grad_input = grad_input + self.projection.backward(grad_sum)
+        else:
+            grad_input = grad_input + grad_sum
+        return grad_input
+
+    def output_note(self) -> str:
+        proj = "proj" if self.projection is not None else "id"
+        return (f"Residual({self.conv1.in_channels}->"
+                f"{self.conv2.out_channels}, {proj})")
+
+
+def build_resnet_mini(input_shape: tuple[int, ...], num_classes: int,
+                      rng: np.random.Generator, width: int = 12,
+                      embed_dim: int = 32) -> Sequential:
+    """Two residual stages + GAP + dense embedding head.
+
+    Features (for shift detection) come from the dense embedding layer, as
+    with the other zoo models.
+    """
+    if len(input_shape) != 3:
+        raise ValueError(f"resnet_mini expects (c, h, w) input; got {input_shape}")
+    c, _h, _w = input_shape
+    layers = [
+        Standardize(),
+        Conv2d(c, width, 3, rng, padding=1),
+        ReLU(),
+        ResidualBlock(width, width, rng),
+        ResidualBlock(width, 2 * width, rng),
+        GlobalAvgPool2d(),
+        Dense(2 * width, embed_dim, rng),
+        ReLU(),
+        Dense(embed_dim, num_classes, rng),
+    ]
+    return Sequential(layers)

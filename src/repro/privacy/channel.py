@@ -1,0 +1,76 @@
+"""Secure reporting channel: party statistics -> enclave-resident detection.
+
+Wires Algorithm 1's transmit set through the enclave: parties seal their
+embedding profiles; MMD scoring against a previous sealed profile happens
+inside the enclave; the aggregator process only ever observes scalar scores
+(which is also all it needs for Algorithm 2's thresholding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.mmd import class_conditional_mmd, mmd
+from repro.privacy.enclave import SealedPayload, SoftwareEnclave, seal_for_enclave
+
+
+class SecureReportChannel:
+    """Per-federation channel for enclave-resident shift detection."""
+
+    def __init__(self, enclave: SoftwareEnclave | None = None, seed: int = 0) -> None:
+        self.enclave = enclave if enclave is not None else SoftwareEnclave(
+            "shiftex-detection", seed=seed
+        )
+        if "mmd" not in self.enclave.attestation_report().computations:
+            self.enclave.register("mmd", self._enclave_mmd)
+            self.enclave.register("cc_mmd", self._enclave_cc_mmd)
+            self.enclave.register("centroid", self._enclave_centroid)
+        self._profiles: dict[int, tuple[SealedPayload, SealedPayload]] = {}
+
+    # Computations that live inside the enclave -------------------------------
+
+    @staticmethod
+    def _enclave_mmd(current: np.ndarray, previous: np.ndarray,
+                     gamma: float | None = None) -> float:
+        return mmd(current, previous, gamma)
+
+    @staticmethod
+    def _enclave_cc_mmd(current: np.ndarray, current_labels: np.ndarray,
+                        previous: np.ndarray, previous_labels: np.ndarray,
+                        gamma: float | None = None) -> float:
+        return class_conditional_mmd(current, current_labels,
+                                     previous, previous_labels, gamma)
+
+    @staticmethod
+    def _enclave_centroid(embeddings: np.ndarray) -> np.ndarray:
+        return embeddings.mean(axis=0)
+
+    # Party-facing API ---------------------------------------------------------
+
+    def submit_profile(self, party_id: int, embeddings: np.ndarray,
+                       labels: np.ndarray, rng: np.random.Generator,
+                       gamma: float | None = None) -> float | None:
+        """Seal a party's window profile; return the enclave-computed delta.
+
+        Returns ``None`` for the party's first submission (no previous
+        profile), matching Algorithm 1's first-window behaviour.
+        """
+        sealed_e = seal_for_enclave(np.asarray(embeddings, dtype=np.float64),
+                                    self.enclave, rng)
+        sealed_y = seal_for_enclave(np.asarray(labels, dtype=np.int64),
+                                    self.enclave, rng)
+        previous = self._profiles.get(party_id)
+        self._profiles[party_id] = (sealed_e, sealed_y)
+        if previous is None:
+            return None
+        prev_e, prev_y = previous
+        return float(self.enclave.execute(
+            "cc_mmd", sealed_e, sealed_y, prev_e, prev_y, gamma=gamma
+        ))
+
+    def profile_centroid(self, party_id: int) -> np.ndarray:
+        """Centroid of a party's sealed profile, computed in-enclave."""
+        if party_id not in self._profiles:
+            raise KeyError(f"no profile for party {party_id}")
+        sealed_e, _ = self._profiles[party_id]
+        return self.enclave.execute("centroid", sealed_e)

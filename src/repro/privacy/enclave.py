@@ -1,0 +1,146 @@
+"""Software enclave emulation: sealing, attestation, measured execution.
+
+The emulation preserves the trust boundary of the paper's TEE design:
+
+* parties *seal* payloads to the enclave's public identity — the hosting
+  aggregator process can carry sealed payloads but cannot read them
+  (enforced here by XOR-keystream encryption with a key only the enclave
+  object holds; an emulation of confidentiality, not production crypto);
+* the enclave exposes an *attestation report* — a digest of its identity
+  and the registered computation code names — that parties verify before
+  sealing anything;
+* computations run *inside* the enclave over unsealed inputs and only
+  declared outputs leave.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+class AttestationError(RuntimeError):
+    """Raised when an attestation report fails verification."""
+
+
+@dataclass(frozen=True)
+class SealedPayload:
+    """An encrypted payload only the target enclave can open."""
+
+    enclave_id: str
+    nonce: bytes
+    ciphertext: bytes
+    shape: tuple[int, ...]
+    dtype: str
+    mac: bytes
+
+
+@dataclass(frozen=True)
+class EnclaveReport:
+    """Attestation evidence: identity plus measurement of loaded code."""
+
+    enclave_id: str
+    measurement: str
+    computations: tuple[str, ...]
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic keystream from SHA-256 in counter mode."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(key + nonce + counter.to_bytes(8, "little")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+def seal_for_enclave(array: np.ndarray, enclave: "SoftwareEnclave",
+                     rng: np.random.Generator) -> SealedPayload:
+    """Encrypt an array so only ``enclave`` can recover it.
+
+    Callers must have verified the enclave's attestation report first; this
+    helper checks the measurement to model that discipline.
+    """
+    report = enclave.attestation_report()
+    expected = SoftwareEnclave.expected_measurement(report.enclave_id,
+                                                    report.computations)
+    if report.measurement != expected:
+        raise AttestationError("enclave measurement mismatch; refusing to seal")
+    arr = np.ascontiguousarray(array)
+    raw = arr.tobytes()
+    nonce = rng.bytes(16)
+    stream = _keystream(enclave._sealing_key, nonce, len(raw))
+    ciphertext = bytes(a ^ b for a, b in zip(raw, stream))
+    mac = hmac.new(enclave._sealing_key, nonce + ciphertext, hashlib.sha256).digest()
+    return SealedPayload(
+        enclave_id=enclave.enclave_id,
+        nonce=nonce,
+        ciphertext=ciphertext,
+        shape=tuple(arr.shape),
+        dtype=str(arr.dtype),
+        mac=mac,
+    )
+
+
+class SoftwareEnclave:
+    """Emulated TEE hosting registered computations over sealed inputs."""
+
+    def __init__(self, enclave_id: str, seed: int = 0) -> None:
+        if not enclave_id:
+            raise ValueError("enclave_id must be non-empty")
+        self.enclave_id = enclave_id
+        self._sealing_key = hashlib.sha256(
+            f"enclave-sealing-key:{enclave_id}:{seed}".encode()
+        ).digest()
+        self._computations: dict[str, Callable] = {}
+        self.executions = 0
+
+    # ------------------------------------------------------------------ attestation
+
+    @staticmethod
+    def expected_measurement(enclave_id: str, computations: tuple[str, ...]) -> str:
+        blob = enclave_id + "|" + ",".join(sorted(computations))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def attestation_report(self) -> EnclaveReport:
+        computations = tuple(sorted(self._computations))
+        return EnclaveReport(
+            enclave_id=self.enclave_id,
+            measurement=self.expected_measurement(self.enclave_id, computations),
+            computations=computations,
+        )
+
+    # ------------------------------------------------------------------ computation
+
+    def register(self, name: str, fn: Callable) -> None:
+        """Load a computation into the enclave (changes its measurement)."""
+        if name in self._computations:
+            raise ValueError(f"computation '{name}' already registered")
+        self._computations[name] = fn
+
+    def unseal(self, payload: SealedPayload) -> np.ndarray:
+        """Decrypt a sealed payload (enclave-internal operation)."""
+        if payload.enclave_id != self.enclave_id:
+            raise AttestationError("payload sealed for a different enclave")
+        mac = hmac.new(self._sealing_key, payload.nonce + payload.ciphertext,
+                       hashlib.sha256).digest()
+        if not hmac.compare_digest(mac, payload.mac):
+            raise AttestationError("payload integrity check failed")
+        stream = _keystream(self._sealing_key, payload.nonce, len(payload.ciphertext))
+        raw = bytes(a ^ b for a, b in zip(payload.ciphertext, stream))
+        return np.frombuffer(raw, dtype=payload.dtype).reshape(payload.shape).copy()
+
+    def execute(self, name: str, *sealed_inputs: SealedPayload, **kwargs):
+        """Run a registered computation over sealed inputs, return its output.
+
+        Only the computation's return value crosses the enclave boundary.
+        """
+        if name not in self._computations:
+            raise KeyError(f"unknown enclave computation '{name}'")
+        arrays = [self.unseal(p) for p in sealed_inputs]
+        self.executions += 1
+        return self._computations[name](*arrays, **kwargs)

@@ -1,0 +1,48 @@
+"""TEE overhead model.
+
+The paper reports that enclaves add modest overhead ("e.g., 5% for AMD
+SEV") from enclave transitions and memory encryption.  The model charges a
+multiplicative compute tax plus a per-call transition cost, so experiments
+can report projected secure-mode latencies without hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TeeOverheadModel:
+    """Projects plain-mode costs into enclave-mode costs."""
+
+    compute_overhead: float = 0.05  # fractional slowdown (5% for AMD SEV)
+    transition_cost_ms: float = 0.02  # enclave entry/exit cost per call
+    sealing_bandwidth_mb_s: float = 400.0  # encryption throughput
+
+    def __post_init__(self) -> None:
+        if self.compute_overhead < 0:
+            raise ValueError("compute_overhead must be non-negative")
+        if self.transition_cost_ms < 0:
+            raise ValueError("transition_cost_ms must be non-negative")
+        if self.sealing_bandwidth_mb_s <= 0:
+            raise ValueError("sealing_bandwidth_mb_s must be positive")
+
+    def secure_compute_ms(self, plain_ms: float, num_calls: int = 1) -> float:
+        """Projected latency of a computation when run inside the enclave."""
+        if plain_ms < 0 or num_calls < 0:
+            raise ValueError("latency and call count must be non-negative")
+        return plain_ms * (1.0 + self.compute_overhead) + num_calls * self.transition_cost_ms
+
+    def sealing_ms(self, payload_bytes: int) -> float:
+        """Time to seal/unseal a payload of the given size."""
+        if payload_bytes < 0:
+            raise ValueError("payload size must be non-negative")
+        return (payload_bytes / 1e6) / self.sealing_bandwidth_mb_s * 1000.0
+
+    def window_overhead_ms(self, detection_ms: float, num_parties: int,
+                           payload_bytes_per_party: int) -> float:
+        """Total extra latency TEE mode adds to one detection window."""
+        sealing = num_parties * self.sealing_ms(payload_bytes_per_party) * 2
+        compute_tax = detection_ms * self.compute_overhead
+        transitions = num_parties * self.transition_cost_ms
+        return sealing + compute_tax + transitions

@@ -1,0 +1,121 @@
+"""Secure aggregation via pairwise masking (Bonawitz et al., 2017 — simplified).
+
+The paper's background (Section 2) lists secure aggregation among the
+standard FL defenses; ShiftEx's expert updates can be aggregated under it so
+the server only learns the *sum* of cohort updates, never an individual
+party's parameters.
+
+Protocol shape implemented here (the honest-but-curious core, without
+dropout-recovery shares):
+
+1. every ordered pair of parties ``(i, j)``, ``i < j``, derives a shared
+   mask ``m_ij`` from a common seed (stand-in for a Diffie–Hellman agreed
+   key);
+2. party ``i`` submits ``x_i + sum_{j>i} m_ij - sum_{j<i} m_ji``;
+3. the masks cancel pairwise in the sum, so the aggregate equals
+   ``sum_i x_i`` exactly while each submission is marginally random.
+
+``SecureAggregationSession`` coordinates one aggregation round and refuses
+to reveal anything until every registered party has submitted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.params import Params
+from repro.utils.rng import spawn_rng
+
+
+class IncompleteSubmissionError(RuntimeError):
+    """Raised when the aggregate is requested before all parties submitted."""
+
+
+def pairwise_mask(shared_seed: int, party_a: int, party_b: int,
+                  sizes: list[tuple[int, ...]]) -> Params:
+    """The mask party ``min(a,b)`` ADDS and party ``max(a,b)`` SUBTRACTS."""
+    low, high = sorted((party_a, party_b))
+    rng = spawn_rng(shared_seed, "pairwise-mask", low, high)
+    return [rng.normal(size=shape) for shape in sizes]
+
+
+class SecureAggregationSession:
+    """One masked-sum aggregation round over a fixed cohort."""
+
+    def __init__(self, cohort: list[int], param_shapes: list[tuple[int, ...]],
+                 shared_seed: int = 0) -> None:
+        if len(set(cohort)) != len(cohort) or not cohort:
+            raise ValueError("cohort must be a non-empty list of distinct ids")
+        self.cohort = sorted(cohort)
+        self.param_shapes = [tuple(s) for s in param_shapes]
+        self.shared_seed = shared_seed
+        self._masked: dict[int, Params] = {}
+        self._weights: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ party side
+
+    def mask_update(self, party_id: int, update: Params) -> Params:
+        """Apply the party's net pairwise mask to its update (party-side op)."""
+        if party_id not in self.cohort:
+            raise KeyError(f"party {party_id} not in this session's cohort")
+        if [tuple(p.shape) for p in update] != self.param_shapes:
+            raise ValueError("update shapes do not match the session")
+        masked = [p.copy() for p in update]
+        for other in self.cohort:
+            if other == party_id:
+                continue
+            mask = pairwise_mask(self.shared_seed, party_id, other,
+                                 self.param_shapes)
+            sign = 1.0 if party_id < other else -1.0
+            for m_dst, m_src in zip(masked, mask):
+                m_dst += sign * m_src
+        return masked
+
+    def submit(self, party_id: int, update: Params, weight: float = 1.0) -> None:
+        """Mask and hand over one party's update."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if party_id in self._masked:
+            raise ValueError(f"party {party_id} already submitted")
+        self._masked[party_id] = self.mask_update(party_id, update)
+        self._weights[party_id] = float(weight)
+
+    # ------------------------------------------------------------------ server side
+
+    @property
+    def missing(self) -> list[int]:
+        return [p for p in self.cohort if p not in self._masked]
+
+    def aggregate(self) -> Params:
+        """Weighted mean of the cohort's updates; masks cancel in the sum.
+
+        Weighting happens party-side in real deployments (parties scale their
+        update before masking); here every submission carries weight 1 in the
+        masked sum and the weighted mean requires uniform weights, or callers
+        pre-scale updates themselves.
+        """
+        if self.missing:
+            raise IncompleteSubmissionError(
+                f"waiting for parties {self.missing}; masked updates are "
+                "meaningless individually"
+            )
+        total = [np.zeros(shape) for shape in self.param_shapes]
+        for masked in self._masked.values():
+            for t, m in zip(total, masked):
+                t += m
+        n = len(self.cohort)
+        return [t / n for t in total]
+
+    def submission_is_masked(self, party_id: int, original: Params,
+                             tolerance: float = 1e-9) -> bool:
+        """True when the stored submission differs from the raw update
+        (sanity check used in tests: the server never holds plaintext)."""
+        if party_id not in self._masked:
+            raise KeyError(f"party {party_id} has not submitted")
+        if len(self.cohort) == 1:
+            return False  # a singleton cohort cannot hide anything
+        stored = self._masked[party_id]
+        return any(
+            float(np.max(np.abs(s - o))) > tolerance
+            for s, o in zip(stored, original)
+        )

@@ -1,0 +1,34 @@
+"""Client-side stream processing substrate.
+
+The paper's parties each run a stream engine (Kafka/Flink) that ingests raw
+records and segments them into tumbling or sliding windows before local
+training (Sections 1 and 4).  This package implements that substrate:
+
+* :class:`~repro.streaming.windows.TumblingWindowAssigner` /
+  :class:`~repro.streaming.windows.SlidingWindowAssigner` — event-time window
+  assignment with the standard semantics (tumbling = non-overlapping fixed
+  windows; sliding = overlapping windows of ``size`` every ``slide``);
+* :class:`~repro.streaming.engine.StreamEngine` — per-party ingest queue with
+  watermark-driven window emission and a bounded local store;
+* :class:`~repro.streaming.source.ArrayStreamSource` — replays labelled
+  arrays as a timestamped record stream (the simulator's data feed).
+"""
+
+from repro.streaming.records import Record, WindowBatch
+from repro.streaming.windows import (
+    WindowAssigner,
+    TumblingWindowAssigner,
+    SlidingWindowAssigner,
+)
+from repro.streaming.engine import StreamEngine
+from repro.streaming.source import ArrayStreamSource
+
+__all__ = [
+    "Record",
+    "WindowBatch",
+    "WindowAssigner",
+    "TumblingWindowAssigner",
+    "SlidingWindowAssigner",
+    "StreamEngine",
+    "ArrayStreamSource",
+]

@@ -1,0 +1,86 @@
+"""Per-party stream engine: ingest, window, emit.
+
+This is the simulator's stand-in for the Kafka/Flink pipeline each party runs
+in the paper.  Records are ingested in event-time order (out-of-order records
+are accepted up to the current watermark), buffered into the windows chosen
+by the assigner, and emitted as :class:`~repro.streaming.records.WindowBatch`
+objects once the watermark passes a window's end.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.streaming.records import Record, WindowBatch
+from repro.streaming.windows import WindowAssigner
+
+
+class LateRecordError(ValueError):
+    """Raised when a record arrives for a window that was already emitted."""
+
+
+class StreamEngine:
+    """Watermark-driven windowing over a record stream."""
+
+    def __init__(self, assigner: WindowAssigner, max_buffered_windows: int = 64) -> None:
+        if max_buffered_windows <= 0:
+            raise ValueError("max_buffered_windows must be positive")
+        self.assigner = assigner
+        self.max_buffered_windows = max_buffered_windows
+        self._buffers: dict[int, list[Record]] = defaultdict(list)
+        self._watermark = float("-inf")
+        self._emitted_through = -1  # highest window id already emitted
+        self.records_ingested = 0
+        self.records_dropped_late = 0
+
+    @property
+    def watermark(self) -> float:
+        return self._watermark
+
+    def ingest(self, record: Record, strict: bool = False) -> None:
+        """Add a record to all windows containing its timestamp.
+
+        Records older than an already-emitted window are dropped (counted in
+        ``records_dropped_late``) unless ``strict`` is set, in which case a
+        :class:`LateRecordError` is raised.
+        """
+        window_ids = self.assigner.assign(record.timestamp)
+        live_ids = [w for w in window_ids if w > self._emitted_through]
+        if not live_ids:
+            if strict:
+                raise LateRecordError(
+                    f"record at t={record.timestamp} is older than emitted windows"
+                )
+            self.records_dropped_late += 1
+            return
+        if len(self._buffers) + len(live_ids) > self.max_buffered_windows * 2:
+            raise RuntimeError(
+                "stream engine buffer overflow; advance the watermark more often"
+            )
+        for window_id in live_ids:
+            self._buffers[window_id].append(record)
+        self.records_ingested += 1
+
+    def advance_watermark(self, watermark: float) -> list[WindowBatch]:
+        """Move event time forward and emit every window now closed."""
+        if watermark < self._watermark:
+            raise ValueError("watermark must be monotonically non-decreasing")
+        self._watermark = watermark
+        closed_through = self.assigner.last_closed_window(watermark)
+        emitted: list[WindowBatch] = []
+        for window_id in sorted(w for w in self._buffers if w <= closed_through):
+            start, end = self.assigner.window_bounds(window_id)
+            emitted.append(WindowBatch(
+                window_id=window_id,
+                start=start,
+                end=end,
+                records=sorted(self._buffers.pop(window_id),
+                               key=lambda r: r.timestamp),
+            ))
+        if closed_through > self._emitted_through:
+            self._emitted_through = closed_through
+        return emitted
+
+    def pending_windows(self) -> list[int]:
+        """Window ids currently buffered but not yet closed."""
+        return sorted(self._buffers)

@@ -1,0 +1,54 @@
+"""Stream record and window batch types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single timestamped labelled observation."""
+
+    timestamp: float
+    x: np.ndarray
+    y: int
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.timestamp):
+            raise ValueError("record timestamp must be finite")
+
+
+@dataclass
+class WindowBatch:
+    """A materialized window of records, ready for local training."""
+
+    window_id: int
+    start: float
+    end: float
+    records: list[Record] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.records)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the window into (x, y) arrays; raises when empty."""
+        if not self.records:
+            raise ValueError(f"window {self.window_id} is empty")
+        x = np.stack([r.x for r in self.records])
+        y = np.array([r.y for r in self.records])
+        return x, y
+
+    def label_histogram(self, num_classes: int) -> np.ndarray:
+        """Normalized label histogram of the window."""
+        counts = np.zeros(num_classes)
+        for record in self.records:
+            if not 0 <= record.y < num_classes:
+                raise ValueError(f"label {record.y} out of range [0, {num_classes})")
+            counts[record.y] += 1
+        total = counts.sum()
+        if total == 0:
+            return np.full(num_classes, 1.0 / num_classes)
+        return counts / total

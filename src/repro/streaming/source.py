@@ -1,0 +1,57 @@
+"""Stream sources: replay labelled arrays as timestamped records."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.streaming.records import Record
+
+
+class ArrayStreamSource:
+    """Replays one or more labelled arrays as an event-time record stream.
+
+    Segments are emitted back-to-back: segment ``i`` occupies event time
+    ``[i * segment_duration, (i+1) * segment_duration)`` with its records
+    spread uniformly (plus optional jitter).  Feeding each window's data as
+    one segment reproduces the simulator's per-window distribution switch as
+    a genuine stream.
+    """
+
+    def __init__(self, segments: list[tuple[np.ndarray, np.ndarray]],
+                 segment_duration: float = 1.0,
+                 jitter: float = 0.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if segment_duration <= 0:
+            raise ValueError("segment_duration must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        for x, y in segments:
+            if len(x) != len(y):
+                raise ValueError("segment arrays must have matching lengths")
+        self.segments = segments
+        self.segment_duration = segment_duration
+        self.jitter = jitter
+        self.rng = rng
+
+    def __iter__(self) -> Iterator[Record]:
+        for seg_index, (x, y) in enumerate(self.segments):
+            n = len(x)
+            if n == 0:
+                continue
+            base = seg_index * self.segment_duration
+            step = self.segment_duration / n
+            for i in range(n):
+                t = base + i * step
+                if self.jitter and self.rng is not None:
+                    t += float(self.rng.uniform(0, self.jitter * step))
+                # Keep the record inside its segment despite jitter.
+                t = min(t, base + self.segment_duration - 1e-9)
+                yield Record(timestamp=t, x=np.asarray(x[i]), y=int(y[i]))
+
+    @property
+    def total_duration(self) -> float:
+        return len(self.segments) * self.segment_duration

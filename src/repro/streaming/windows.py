@@ -1,0 +1,86 @@
+"""Event-time window assigners (tumbling and sliding).
+
+Semantics follow the dataflow model the paper cites: a tumbling window of
+size ``s`` partitions time into ``[k*s, (k+1)*s)``; a sliding window of size
+``s`` and slide ``d`` opens a window at every multiple of ``d`` and each
+event belongs to every open window covering its timestamp.  A tumbling
+window is the special case ``d == s``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class WindowAssigner:
+    """Maps an event timestamp to the ids of the windows containing it."""
+
+    def assign(self, timestamp: float) -> list[int]:
+        raise NotImplementedError
+
+    def window_bounds(self, window_id: int) -> tuple[float, float]:
+        """Return the [start, end) interval of a window."""
+        raise NotImplementedError
+
+    def last_closed_window(self, watermark: float) -> int:
+        """Highest window id fully covered by ``watermark`` (-1 if none)."""
+        raise NotImplementedError
+
+
+class TumblingWindowAssigner(WindowAssigner):
+    """Non-overlapping fixed-size windows."""
+
+    def __init__(self, size: float, offset: float = 0.0) -> None:
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = float(size)
+        self.offset = float(offset)
+
+    def assign(self, timestamp: float) -> list[int]:
+        return [int(math.floor((timestamp - self.offset) / self.size))]
+
+    def window_bounds(self, window_id: int) -> tuple[float, float]:
+        start = self.offset + window_id * self.size
+        return start, start + self.size
+
+    def last_closed_window(self, watermark: float) -> int:
+        # Window k closes when watermark >= (k+1) * size.
+        return int(math.floor((watermark - self.offset) / self.size)) - 1
+
+
+class SlidingWindowAssigner(WindowAssigner):
+    """Overlapping windows of ``size`` opening every ``slide``.
+
+    Window ``k`` covers ``[k*slide, k*slide + size)``.  Requires
+    ``slide <= size`` (otherwise records between windows would be dropped).
+    """
+
+    def __init__(self, size: float, slide: float, offset: float = 0.0) -> None:
+        if size <= 0 or slide <= 0:
+            raise ValueError("size and slide must be positive")
+        if slide > size:
+            raise ValueError("slide must not exceed size (records would be dropped)")
+        self.size = float(size)
+        self.slide = float(slide)
+        self.offset = float(offset)
+
+    def assign(self, timestamp: float) -> list[int]:
+        t = timestamp - self.offset
+        last = int(math.floor(t / self.slide))
+        first = int(math.ceil((t - self.size) / self.slide))
+        # Window k contains t iff k*slide <= t < k*slide + size.  Stream time
+        # starts at the offset, so ids are clamped to k >= 0 (early elements
+        # simply belong to fewer windows).
+        first = max(first, 0)
+        ids = [k for k in range(first, last + 1)
+               if k * self.slide <= t < k * self.slide + self.size]
+        return ids
+
+    def window_bounds(self, window_id: int) -> tuple[float, float]:
+        start = self.offset + window_id * self.slide
+        return start, start + self.size
+
+    def last_closed_window(self, watermark: float) -> int:
+        # Window k closes when watermark >= k * slide + size.
+        t = watermark - self.offset
+        return int(math.floor((t - self.size) / self.slide))

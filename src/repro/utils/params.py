@@ -1,0 +1,104 @@
+"""Model-parameter vector utilities.
+
+Federated aggregation, FedProx proximal terms, expert consolidation and
+cosine-similarity merging all operate on *flattened* parameter vectors.
+:class:`ParamSpec` records the shapes of a model's parameter list so vectors
+round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+Params = list[np.ndarray]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Shapes and sizes of a parameter list, for flatten/unflatten."""
+
+    shapes: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def of(cls, params: Params) -> "ParamSpec":
+        return cls(shapes=tuple(tuple(p.shape) for p in params))
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(int(np.prod(s)) if s else 1 for s in self.shapes)
+
+    @property
+    def total_size(self) -> int:
+        return int(sum(self.sizes))
+
+    def unflatten(self, vector: np.ndarray) -> Params:
+        if vector.ndim != 1 or vector.size != self.total_size:
+            raise ValueError(
+                f"vector of size {vector.size} does not match spec "
+                f"with total size {self.total_size}"
+            )
+        params: Params = []
+        offset = 0
+        for shape, size in zip(self.shapes, self.sizes):
+            params.append(vector[offset:offset + size].reshape(shape).copy())
+            offset += size
+        return params
+
+
+def flatten_params(params: Params) -> np.ndarray:
+    """Concatenate a parameter list into one float64 vector."""
+    if not params:
+        return np.zeros(0)
+    return np.concatenate([np.asarray(p, dtype=np.float64).ravel() for p in params])
+
+
+def unflatten_params(vector: np.ndarray, like: Params) -> Params:
+    """Reshape ``vector`` into the shapes of the reference list ``like``."""
+    return ParamSpec.of(like).unflatten(np.asarray(vector, dtype=np.float64))
+
+
+def zeros_like_params(params: Params) -> Params:
+    return [np.zeros_like(p) for p in params]
+
+
+def add_scaled(accum: Params, params: Params, scale: float) -> None:
+    """In-place ``accum += scale * params`` (element-wise over the lists)."""
+    if len(accum) != len(params):
+        raise ValueError("parameter lists have different lengths")
+    for a, p in zip(accum, params):
+        a += scale * p
+
+
+def weighted_average(param_sets: list[Params], weights: list[float]) -> Params:
+    """Weighted average of parameter lists (the FedAvg aggregation rule)."""
+    if not param_sets:
+        raise ValueError("no parameter sets to average")
+    if len(param_sets) != len(weights):
+        raise ValueError("param_sets and weights must have equal length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    out = zeros_like_params(param_sets[0])
+    for params, weight in zip(param_sets, weights):
+        add_scaled(out, params, weight / total)
+    return out
+
+
+def params_cosine_similarity(a: Params, b: Params) -> float:
+    """Cosine similarity between two flattened parameter lists.
+
+    This is the expert-consolidation criterion in ShiftEx (Section 5.2.5):
+    ``cos(theta_i, theta_j) > tau`` triggers a merge.
+    """
+    va, vb = flatten_params(a), flatten_params(b)
+    na, nb = float(np.linalg.norm(va)), float(np.linalg.norm(vb))
+    if na == 0.0 or nb == 0.0:
+        return 1.0 if na == nb else 0.0
+    return float(np.dot(va, vb) / (na * nb))
+
+
+def params_l2_distance(a: Params, b: Params) -> float:
+    """Euclidean distance between two flattened parameter lists."""
+    return float(np.linalg.norm(flatten_params(a) - flatten_params(b)))

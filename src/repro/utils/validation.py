@@ -1,0 +1,50 @@
+"""Small validation helpers shared across subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_2d(x: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``x`` as a 2-D float array, raising a clear error otherwise."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n_samples, n_features); got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    return arr
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, name: str = "arrays") -> None:
+    if np.shape(a) != np.shape(b):
+        raise ValueError(f"{name} must have matching shapes; got {np.shape(a)} vs {np.shape(b)}")
+
+
+def check_probability_vector(p: np.ndarray, name: str = "distribution") -> np.ndarray:
+    """Validate a discrete probability vector (non-negative, sums to ~1)."""
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D; got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(arr < -1e-12):
+        raise ValueError(f"{name} has negative entries")
+    total = float(arr.sum())
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"{name} must sum to 1; sums to {total}")
+    return np.clip(arr, 0.0, None)
+
+
+def normalize_histogram(counts: np.ndarray) -> np.ndarray:
+    """Turn a count vector into a probability vector (uniform if all zero)."""
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"histogram must be 1-D; got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("histogram must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("histogram counts must be non-negative")
+    total = arr.sum()
+    if total == 0:
+        return np.full(arr.size, 1.0 / arr.size)
+    return arr / total

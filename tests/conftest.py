@@ -1,0 +1,96 @@
+"""Shared fixtures: tiny dataset specs and pre-trained mini federations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.federated import FederatedShiftDataset
+from repro.data.registry import DatasetSpec
+from repro.federation.party import Party
+from repro.federation.rounds import RoundConfig
+from repro.federation.strategy import StrategyContext
+from repro.harness.profiles import RunSettings
+from repro.nn.models import build_model
+from repro.nn.training import LocalTrainingConfig
+from repro.utils.rng import spawn_rng
+
+
+def make_tiny_spec(name: str = "unit_tiny", num_parties: int = 8,
+                   num_windows: int = 3, label_shift: bool = False,
+                   window_regimes: tuple = (("fog", 4), ("fog", 4)),
+                   num_classes: int = 4, train: int = 32, test: int = 16,
+                   model_name: str = "mlp", seed: int = 101) -> DatasetSpec:
+    """A deliberately small dataset spec for fast unit tests."""
+    return DatasetSpec(
+        name=name,
+        paper_name="unit-test",
+        num_classes=num_classes,
+        image_size=8,
+        channels=1,
+        num_parties=num_parties,
+        num_windows=num_windows,
+        model_name=model_name,
+        windowing="tumbling",
+        window_regimes=window_regimes,
+        label_shift=label_shift,
+        dirichlet_alpha=3.0,
+        train_per_window=train,
+        test_per_window=test,
+        domain_noise_scale=0.15,
+        seed=seed,
+    )
+
+
+def make_run_settings(rounds_burn_in: int = 3, rounds_per_window: int = 2,
+                      participants: int = 4, epochs: int = 2) -> RunSettings:
+    return RunSettings(
+        rounds_burn_in=rounds_burn_in,
+        rounds_per_window=rounds_per_window,
+        round_config=RoundConfig(
+            participants_per_round=participants,
+            local=LocalTrainingConfig(epochs=epochs, batch_size=8, lr=0.05,
+                                      momentum=0.9),
+        ),
+    )
+
+
+def make_context(spec: DatasetSpec, dataset: FederatedShiftDataset,
+                 window: int = 0, seed: int = 0,
+                 settings: RunSettings | None = None) -> StrategyContext:
+    """Build parties holding the given window's data plus a strategy context."""
+    settings = settings if settings is not None else make_run_settings()
+    parties: dict[int, Party] = {}
+    for pid in range(spec.num_parties):
+        model = build_model(spec.model_name, spec.input_shape, spec.num_classes,
+                            spawn_rng(seed, "party-model", pid))
+        party = Party(pid, model, spec.num_classes, seed=seed)
+        party.set_window_data(dataset.party_window(pid, window))
+        parties[pid] = party
+
+    def model_factory():
+        return build_model(spec.model_name, spec.input_shape, spec.num_classes,
+                           spawn_rng(seed, "global-model-init"))
+
+    return StrategyContext(
+        spec=spec,
+        parties=parties,
+        model_factory=model_factory,
+        round_config=settings.round_config,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> DatasetSpec:
+    return make_tiny_spec()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_spec) -> FederatedShiftDataset:
+    return FederatedShiftDataset(tiny_spec)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return spawn_rng(0, "test")

@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fmow_sim", "cifar10_c_sim", "femnist_sim"):
+            assert name in out
+
+    def test_inspect_shows_schedule(self, capsys):
+        assert main(["inspect", "cifar10_c_sim"]) == 0
+        out = capsys.readouterr().out
+        assert "clean burn-in" in out
+        assert "fog" in out
+
+    def test_inspect_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "imagenet"])
+
+    def test_compare_rejects_unknown_method(self, capsys):
+        rc = main(["compare", "cifar10_c_sim", "--methods", "fedsgd"])
+        assert rc == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,116 @@
+"""Tests for ShiftExConfig and the party-side detector (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ShiftExConfig
+from repro.core.detector import PartyLocalState, compute_party_report
+from repro.data.corruptions import apply_corruption
+from repro.federation.party import Party
+from repro.nn.models import build_model
+from repro.nn.training import LocalTrainingConfig, train_local
+from repro.utils.rng import spawn_rng
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ShiftExConfig()
+        assert config.delta_cov is None
+        assert config.tau > 0.9
+        assert config.min_cluster_size >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"p_value": 0.0},
+        {"p_value": 1.0},
+        {"num_bootstrap": 0},
+        {"epsilon": -0.1},
+        {"epsilon_scale": 0.0},
+        {"tau": 1.5},
+        {"k_max": 0},
+        {"min_cluster_size": 0},
+        {"embedding_samples": 1},
+        {"finetune_epochs": -1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ShiftExConfig(**kwargs)
+
+    def test_explicit_thresholds_allowed(self):
+        config = ShiftExConfig(delta_cov=0.3, delta_label=0.1)
+        assert config.delta_cov == 0.3
+
+
+class TestDetector:
+    @pytest.fixture()
+    def trained_party(self, tiny_spec, tiny_dataset):
+        model = build_model(tiny_spec.model_name, tiny_spec.input_shape,
+                            tiny_spec.num_classes, spawn_rng(0, "enc"))
+        data = tiny_dataset.party_window(0, 0)
+        train_local(model, data.x_train, data.y_train,
+                    LocalTrainingConfig(epochs=6, lr=0.05, momentum=0.9),
+                    spawn_rng(0, "t"))
+        party = Party(0, model, tiny_spec.num_classes)
+        party.set_window_data(data)
+        return party, model.get_params()
+
+    def test_first_window_deltas_zero(self, trained_party):
+        party, encoder = trained_party
+        report, state = compute_party_report(party, encoder, None)
+        assert report.delta_cov == 0.0
+        assert report.delta_label == 0.0
+        assert isinstance(state, PartyLocalState)
+        assert state.embeddings.shape[0] == state.labels.shape[0]
+
+    def test_report_contents(self, trained_party, tiny_spec):
+        party, encoder = trained_party
+        report, _state = compute_party_report(party, encoder, None,
+                                              max_samples=16)
+        assert report.party_id == 0
+        assert report.embeddings.shape[0] == 16
+        assert report.label_histogram.shape == (tiny_spec.num_classes,)
+        assert np.isclose(report.label_histogram.sum(), 1.0)
+        assert report.centroid.shape == (report.embeddings.shape[1],)
+
+    def test_stable_window_scores_below_shifted(self, trained_party, tiny_dataset):
+        party, encoder = trained_party
+        _report0, state0 = compute_party_report(party, encoder, None)
+
+        # Fresh draw of the same distribution: small delta.
+        stable = tiny_dataset.party_window(0, 0)
+        fresh = type(stable)(
+            party_id=0, window=1,
+            x_train=stable.x_train[::-1].copy(), y_train=stable.y_train[::-1].copy(),
+            x_test=stable.x_test, y_test=stable.y_test,
+            regime=stable.regime, label_prior=stable.label_prior,
+        )
+        party.set_window_data(fresh)
+        report_stable, _ = compute_party_report(party, encoder, state0, gamma=0.5)
+
+        # Heavily corrupted draw: large delta.
+        corrupted = type(stable)(
+            party_id=0, window=1,
+            x_train=apply_corruption(stable.x_train, "invert_polarity", 5,
+                                     spawn_rng(1, "c")),
+            y_train=stable.y_train,
+            x_test=stable.x_test, y_test=stable.y_test,
+            regime=stable.regime, label_prior=stable.label_prior,
+        )
+        party.set_window_data(corrupted)
+        report_shift, _ = compute_party_report(party, encoder, state0, gamma=0.5)
+        assert report_shift.delta_cov > report_stable.delta_cov
+
+    def test_label_shift_raises_jsd(self, trained_party, tiny_dataset, tiny_spec):
+        party, encoder = trained_party
+        _r, state0 = compute_party_report(party, encoder, None)
+        stable = tiny_dataset.party_window(0, 0)
+        # Keep only one class: the label histogram collapses.
+        mask = stable.y_train == stable.y_train[0]
+        skewed = type(stable)(
+            party_id=0, window=1,
+            x_train=stable.x_train[mask], y_train=stable.y_train[mask],
+            x_test=stable.x_test, y_test=stable.y_test,
+            regime=stable.regime, label_prior=stable.label_prior,
+        )
+        party.set_window_data(skewed)
+        report, _ = compute_party_report(party, encoder, state0)
+        assert report.delta_label > 0.1

@@ -1,0 +1,192 @@
+"""Tests for the ShiftEx aggregator (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShiftExConfig, ShiftExStrategy
+from repro.core.server import split_budget
+from repro.data.federated import FederatedShiftDataset
+from repro.utils.params import flatten_params
+from tests.conftest import make_context, make_run_settings, make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def shift_env():
+    """A small federation with a strong covariate shift at W1 (recurring at W2)."""
+    spec = make_tiny_spec(name="unit_core", num_parties=10, num_windows=3,
+                          window_regimes=(("invert_polarity", 4),
+                                          ("invert_polarity", 4)),
+                          train=32, seed=71)
+    dataset = FederatedShiftDataset(spec)
+    return spec, dataset
+
+
+def run_shiftex(spec, dataset, config=None, windows=None, rounds=3, seed=0):
+    strategy = ShiftExStrategy(config)
+    settings = make_run_settings(rounds_burn_in=rounds + 1,
+                                 rounds_per_window=rounds, participants=5)
+    ctx = make_context(spec, dataset, seed=seed, settings=settings)
+    strategy.setup(ctx)
+    for window in range(windows if windows is not None else spec.num_windows):
+        for pid, party in ctx.parties.items():
+            party.set_window_data(dataset.party_window(pid, window))
+        strategy.start_window(window)
+        for r in range(settings.rounds_for_window(window)):
+            strategy.run_round(window, r)
+        strategy.end_window(window)
+    return strategy, ctx
+
+
+class TestSplitBudget:
+    def test_proportional(self):
+        budget = split_budget({0: 30, 1: 10}, 8)
+        assert budget[0] == 6 and budget[1] == 2
+
+    def test_min_one_each(self):
+        budget = split_budget({0: 100, 1: 1}, 4)
+        assert budget[1] >= 1
+
+    def test_capped_at_cohort_size(self):
+        budget = split_budget({0: 2}, 10)
+        assert budget[0] == 2
+
+    def test_empty_cohorts_skipped(self):
+        assert split_budget({0: 0}, 4) == {}
+
+
+class TestBootstrapPhase:
+    def test_single_expert_after_setup(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=1)
+        assert len(strategy.registry) == 1
+        assert set(strategy.assignments.values()) == {0}
+
+    def test_thresholds_calibrated_after_w0(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=1)
+        assert strategy.thresholds is not None
+        assert strategy.thresholds.delta_cov > 0
+        assert strategy.thresholds.delta_label > 0
+        assert strategy._epsilon is not None and strategy._epsilon > 0
+
+    def test_encoder_frozen_at_w0(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=1)
+        expert0 = strategy.registry.get(list(strategy.registry.ids())[0])
+        assert np.allclose(flatten_params(strategy._encoder),
+                           flatten_params(expert0.params))
+
+    def test_expert0_memory_seeded(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=1)
+        assert not strategy.registry.all()[0].memory.is_empty
+
+    def test_explicit_threshold_override(self, shift_env):
+        spec, dataset = shift_env
+        config = ShiftExConfig(delta_cov=123.0, delta_label=0.5)
+        strategy, _ctx = run_shiftex(spec, dataset, config=config, windows=1)
+        assert strategy.thresholds.delta_cov == 123.0
+        assert strategy.thresholds.delta_label == 0.5
+
+    def test_later_window_without_bootstrap_rejected(self, shift_env):
+        spec, dataset = shift_env
+        strategy = ShiftExStrategy()
+        ctx = make_context(spec, dataset)
+        strategy.setup(ctx)
+        with pytest.raises(RuntimeError):
+            strategy.start_window(1)
+
+
+class TestShiftResponse:
+    def test_new_expert_created_on_shift(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=2)
+        assert len(strategy.registry) >= 2
+        log = strategy.shift_log[-1]
+        assert log["num_shifted"] > 0
+        actions = {c["action"] for c in log["clusters"]}
+        assert "create" in actions or "reuse" in actions
+
+    def test_shifted_parties_reassigned(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=2)
+        shifted = dataset.schedule.parties_shifted_at(1)
+        moved = {pid for pid, eid in strategy.assignments.items() if eid != 0}
+        # Most truly shifted parties end up off the bootstrap expert.
+        assert len(moved & shifted) >= len(shifted) // 2
+
+    def test_stable_parties_keep_expert(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=2)
+        stable = set(range(spec.num_parties)) - dataset.schedule.parties_shifted_at(1)
+        expert0 = strategy.registry.ids()[0]
+        keepers = {pid for pid in stable if strategy.assignments[pid] == expert0}
+        assert len(keepers) >= max(1, len(stable) - 2)
+
+    def test_recurring_regime_reuses_expert(self, shift_env):
+        """W2 repeats W1's regime: the matched cluster must reuse, not create."""
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=3)
+        log_w2 = [log for log in strategy.shift_log if log["window"] == 2]
+        assert log_w2
+        actions = [c["action"] for c in log_w2[0]["clusters"]
+                   if c["action"] in ("create", "reuse")]
+        assert actions, "expected at least one large-cluster action at W2"
+        assert "reuse" in actions
+
+    def test_expert_distribution_tracks_assignments(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=2)
+        distribution = strategy.expert_distribution()
+        assert sum(distribution.values()) == spec.num_parties
+
+    def test_params_for_party_serves_assigned_expert(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=2)
+        for pid, eid in strategy.assignments.items():
+            if pid in strategy._finetuned:
+                continue
+            assert np.allclose(
+                flatten_params(strategy.params_for_party(pid)),
+                flatten_params(strategy.registry.get(eid).params),
+            )
+
+    def test_describe_state_fields(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=2)
+        state = strategy.describe_state()
+        assert state["num_models"] == len(strategy.registry)
+        assert "delta_cov" in state and "epsilon" in state
+
+    def test_assignment_history_per_window(self, shift_env):
+        spec, dataset = shift_env
+        strategy, _ctx = run_shiftex(spec, dataset, windows=3)
+        assert set(strategy.assignment_history) == {0, 1, 2}
+
+
+class TestAblationsToggles:
+    def test_no_latent_memory_creates_more_experts(self, shift_env):
+        spec, dataset = shift_env
+        base, _ = run_shiftex(spec, dataset, windows=3, seed=1)
+        config = ShiftExConfig(enable_latent_memory=False,
+                               enable_consolidation=False)
+        ablated, _ = run_shiftex(spec, dataset, config=config, windows=3, seed=1)
+        assert ablated.registry.created_total >= base.registry.created_total
+
+    def test_small_cluster_finetune(self):
+        spec = make_tiny_spec(name="unit_finetune", num_parties=6, num_windows=2,
+                              window_regimes=(("invert_polarity", 4),),
+                              seed=73)
+        dataset = FederatedShiftDataset(spec)
+        config = ShiftExConfig(min_cluster_size=100)  # force the finetune path
+        strategy, _ctx = run_shiftex(spec, dataset, config=config, windows=2)
+        log = strategy.shift_log[-1]
+        if log["num_shifted"]:
+            assert any(c["action"] == "finetune" for c in log["clusters"])
+            assert strategy._finetuned
+
+    def test_flips_disabled_still_trains(self, shift_env):
+        spec, dataset = shift_env
+        config = ShiftExConfig(enable_flips=False)
+        strategy, _ctx = run_shiftex(spec, dataset, config=config, windows=2)
+        assert strategy.mean_accuracy() > 1.0 / spec.num_classes

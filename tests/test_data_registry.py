@@ -1,0 +1,139 @@
+"""Tests for dataset specs and shift schedules."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import (
+    DatasetSpec,
+    build_shift_schedule,
+    dataset_names,
+    get_dataset_spec,
+)
+from tests.conftest import make_tiny_spec
+
+
+class TestRegistry:
+    def test_five_paper_datasets_registered(self):
+        assert set(dataset_names()) == {
+            "fmow_sim", "tiny_imagenet_c_sim", "cifar10_c_sim",
+            "femnist_sim", "fashion_mnist_sim",
+        }
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            get_dataset_spec("imagenet")
+
+    def test_paper_party_counts(self):
+        assert get_dataset_spec("fmow_sim").num_parties == 50
+        for name in ("cifar10_c_sim", "femnist_sim", "fashion_mnist_sim",
+                     "tiny_imagenet_c_sim"):
+            assert get_dataset_spec(name).num_parties == 200
+
+    def test_paper_window_counts(self):
+        # Tables 1-2: 4 evaluation windows for FMoW/CIFAR, 5 for the rest
+        # (plus the W0 burn-in window).
+        assert get_dataset_spec("fmow_sim").num_windows == 5
+        assert get_dataset_spec("cifar10_c_sim").num_windows == 5
+        assert get_dataset_spec("tiny_imagenet_c_sim").num_windows == 6
+        assert get_dataset_spec("femnist_sim").num_windows == 6
+        assert get_dataset_spec("fashion_mnist_sim").num_windows == 6
+
+    def test_windowing_matches_paper(self):
+        assert get_dataset_spec("fmow_sim").windowing == "tumbling"
+        assert get_dataset_spec("tiny_imagenet_c_sim").windowing == "tumbling"
+        assert get_dataset_spec("cifar10_c_sim").windowing == "sliding"
+
+    def test_label_shift_flags(self):
+        assert get_dataset_spec("fmow_sim").label_shift
+        assert get_dataset_spec("femnist_sim").label_shift
+        assert not get_dataset_spec("cifar10_c_sim").label_shift
+
+    def test_cifar_regime_recurs(self):
+        regimes = get_dataset_spec("cifar10_c_sim").window_regimes
+        assert len(set(regimes)) == 1
+
+    def test_scaled_copy(self):
+        spec = get_dataset_spec("fmow_sim").scaled(num_parties=10)
+        assert spec.num_parties == 10
+        assert get_dataset_spec("fmow_sim").num_parties == 50
+
+
+class TestSpecValidation:
+    def test_regime_count_must_match_windows(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(num_windows=4, window_regimes=(("fog", 3),))
+
+    def test_unknown_corruption_rejected(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(window_regimes=(("tsunami", 3), ("fog", 3)))
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            make_tiny_spec(window_regimes=(("fog", 9), ("fog", 3)))
+
+    def test_bad_windowing_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(
+                name="x", paper_name="x", num_classes=3, image_size=8,
+                channels=1, num_parties=4, num_windows=2, model_name="mlp",
+                windowing="hopping", window_regimes=(("fog", 3),),
+            )
+
+
+class TestSchedule:
+    def test_window_zero_is_clean(self, tiny_spec):
+        schedule = build_shift_schedule(tiny_spec)
+        assert all(r.corruption == "identity" for r in schedule.regimes[0])
+        assert schedule.parties_shifted_at(0) == set()
+
+    def test_shift_fraction_respected(self, tiny_spec):
+        schedule = build_shift_schedule(tiny_spec)
+        expected = round(tiny_spec.shift_fraction * tiny_spec.num_parties)
+        for window in range(1, tiny_spec.num_windows):
+            assert len(schedule.parties_shifted_at(window)) == expected
+
+    def test_shifted_parties_adopt_window_regime(self, tiny_spec):
+        schedule = build_shift_schedule(tiny_spec)
+        corruption, severity = tiny_spec.window_regimes[0]
+        for party in schedule.parties_shifted_at(1):
+            regime = schedule.regime_of(1, party)
+            assert (regime.corruption, regime.severity) == (corruption, severity)
+
+    def test_unshifted_parties_keep_regime(self, tiny_spec):
+        schedule = build_shift_schedule(tiny_spec)
+        for party in range(tiny_spec.num_parties):
+            if party not in schedule.parties_shifted_at(1):
+                assert schedule.regime_of(1, party).regime_id == \
+                    schedule.regime_of(0, party).regime_id
+
+    def test_recurring_regimes_share_id(self):
+        spec = make_tiny_spec(num_windows=3, window_regimes=(("fog", 4), ("fog", 4)))
+        schedule = build_shift_schedule(spec)
+        ids = {r.regime_id for r in schedule.regimes[2] if r.corruption == "fog"}
+        assert len(ids) == 1
+
+    def test_distinct_regimes_get_distinct_ids(self):
+        spec = make_tiny_spec(num_windows=3,
+                              window_regimes=(("fog", 4), ("contrast", 4)))
+        schedule = build_shift_schedule(spec)
+        assert len(schedule.distinct_regimes_up_to(2)) == 3  # clean + 2
+
+    def test_label_priors_stable_without_label_shift(self):
+        spec = make_tiny_spec(label_shift=False)
+        schedule = build_shift_schedule(spec)
+        assert np.allclose(schedule.label_priors[0], schedule.label_priors[-1])
+
+    def test_label_priors_move_with_label_shift(self):
+        spec = make_tiny_spec(label_shift=True)
+        schedule = build_shift_schedule(spec)
+        moved = [
+            party for party in schedule.parties_shifted_at(1)
+            if not np.allclose(schedule.prior_of(0, party),
+                               schedule.prior_of(1, party))
+        ]
+        assert moved
+
+    def test_deterministic_per_seed(self, tiny_spec):
+        s1 = build_shift_schedule(tiny_spec)
+        s2 = build_shift_schedule(tiny_spec)
+        assert s1.shifted_parties == s2.shifted_parties

@@ -1,0 +1,170 @@
+"""Tests for the facility-location assignment program (Equation 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experts.facility import (
+    FacilityLocationProblem,
+    solve_exact,
+    solve_greedy,
+)
+from repro.utils.rng import spawn_rng
+
+
+def small_problem(lam=0.2, mu=0.1, capacity=None):
+    """3 parties, 1 existing expert + 1 candidate.
+
+    Parties 0, 1 are close to the existing expert; party 2 is far from it and
+    close to the candidate.
+    """
+    mmd_costs = np.array([
+        [0.1, 0.9],
+        [0.2, 0.8],
+        [0.9, 0.1],
+    ])
+    hists = np.array([
+        [0.5, 0.5],
+        [0.5, 0.5],
+        [0.5, 0.5],
+    ])
+    return FacilityLocationProblem(
+        mmd_costs=mmd_costs, existing=(0,), candidates=(1,),
+        party_histograms=hists, lam=lam, mu=mu, capacity=capacity,
+    )
+
+
+class TestProblemValidation:
+    def test_columns_must_cover_experts(self):
+        with pytest.raises(ValueError):
+            FacilityLocationProblem(
+                mmd_costs=np.zeros((2, 2)), existing=(0,), candidates=(),
+                party_histograms=np.full((2, 2), 0.5),
+            )
+
+    def test_histograms_must_align(self):
+        with pytest.raises(ValueError):
+            FacilityLocationProblem(
+                mmd_costs=np.zeros((2, 2)), existing=(0,), candidates=(1,),
+                party_histograms=np.full((3, 2), 0.5),
+            )
+
+    def test_negative_lam_rejected(self):
+        with pytest.raises(ValueError):
+            small_problem(lam=-1.0)
+
+    def test_infeasible_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            small_problem(capacity=1)  # 2 experts * 1 < 3 parties
+
+
+class TestObjective:
+    def test_mismatch_term(self):
+        problem = small_problem(lam=0.0, mu=0.0)
+        value = problem.objective(np.array([0, 0, 1]))
+        assert value == pytest.approx(0.1 + 0.2 + 0.1)
+
+    def test_creation_cost_charged_when_candidate_used(self):
+        problem = small_problem(lam=0.5, mu=0.0)
+        without = problem.objective(np.array([0, 0, 0]))
+        with_candidate = problem.objective(np.array([0, 0, 1]))
+        assert with_candidate == pytest.approx(0.1 + 0.2 + 0.1 + 0.5)
+        assert without == pytest.approx(0.1 + 0.2 + 0.9)
+
+    def test_label_imbalance_term(self):
+        mmd_costs = np.zeros((2, 2))
+        hists = np.array([[1.0, 0.0], [0.0, 1.0]])
+        problem = FacilityLocationProblem(
+            mmd_costs=mmd_costs, existing=(0, 1), candidates=(),
+            party_histograms=hists, lam=0.0, mu=1.0,
+        )
+        # Together: each expert's pooled histogram equals the global mean.
+        together = problem.objective(np.array([0, 0]))
+        # Apart: each expert is fully skewed vs the balanced global mean.
+        apart = problem.objective(np.array([0, 1]))
+        assert together < apart
+
+    def test_capacity_violation_rejected(self):
+        problem = small_problem(capacity=2)
+        with pytest.raises(ValueError):
+            problem.objective(np.array([0, 0, 0]))
+
+    def test_bad_assignment_shape_rejected(self):
+        problem = small_problem()
+        with pytest.raises(ValueError):
+            problem.objective(np.array([0, 0]))
+
+    def test_unknown_expert_rejected(self):
+        problem = small_problem()
+        with pytest.raises(ValueError):
+            problem.objective(np.array([0, 0, 5]))
+
+
+class TestExactSolver:
+    def test_opens_candidate_when_worth_it(self):
+        problem = small_problem(lam=0.2)
+        solution = solve_exact(problem)
+        assert list(solution.assignment) == [0, 0, 1]
+        assert 1 in solution.open_experts
+
+    def test_avoids_candidate_when_too_expensive(self):
+        problem = small_problem(lam=5.0)
+        solution = solve_exact(problem)
+        assert list(solution.assignment) == [0, 0, 0]
+
+    def test_respects_capacity(self):
+        problem = small_problem(lam=0.0, capacity=2)
+        solution = solve_exact(problem)
+        counts = np.bincount(solution.assignment, minlength=2)
+        assert counts.max() <= 2
+
+    def test_state_space_guard(self):
+        rng = spawn_rng(0, "big")
+        problem = FacilityLocationProblem(
+            mmd_costs=rng.random((30, 4)), existing=(0,), candidates=(1, 2, 3),
+            party_histograms=np.full((30, 3), 1 / 3),
+        )
+        with pytest.raises(ValueError):
+            solve_exact(problem, max_states=1000)
+
+
+class TestGreedySolver:
+    def test_feasible_and_reasonable(self):
+        problem = small_problem()
+        solution = solve_greedy(problem)
+        assert solution.assignment.shape == (3,)
+        exact = solve_exact(problem)
+        assert solution.objective <= exact.objective * 1.5 + 1e-9
+
+    def test_matches_exact_on_obvious_instance(self):
+        problem = small_problem(lam=0.1, mu=0.0)
+        greedy = solve_greedy(problem)
+        exact = solve_exact(problem)
+        assert greedy.objective == pytest.approx(exact.objective)
+
+    def test_respects_capacity(self):
+        problem = small_problem(lam=0.0, capacity=2)
+        solution = solve_greedy(problem)
+        counts = np.bincount(solution.assignment, minlength=2)
+        assert counts.max() <= 2
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_near_exact_on_random_instances(self, seed):
+        rng = spawn_rng(seed, "fac")
+        n_parties = int(rng.integers(2, 5))
+        n_experts = int(rng.integers(2, 4))
+        hists = rng.dirichlet(np.ones(3), size=n_parties)
+        problem = FacilityLocationProblem(
+            mmd_costs=rng.random((n_parties, n_experts)),
+            existing=(0,),
+            candidates=tuple(range(1, n_experts)),
+            party_histograms=hists,
+            lam=float(rng.random() * 0.5),
+            mu=float(rng.random() * 0.5),
+        )
+        greedy = solve_greedy(problem)
+        exact = solve_exact(problem)
+        # Greedy must be feasible and within 30% of optimal on tiny instances.
+        assert greedy.objective <= exact.objective * 1.3 + 1e-9
+        assert greedy.objective >= exact.objective - 1e-9

@@ -1,0 +1,156 @@
+"""Tests for the expert registry and latent-memory matching."""
+
+import numpy as np
+import pytest
+
+from repro.experts.matching import match_cluster_to_expert, nearest_expert
+from repro.experts.registry import ExpertRegistry
+from repro.utils.rng import spawn_rng
+
+
+def simple_params(rng, scale=1.0):
+    return [scale * rng.normal(size=(4, 3)), scale * rng.normal(size=(3,))]
+
+
+@pytest.fixture()
+def registry():
+    return ExpertRegistry(memory_capacity=16, memory_eta=0.5)
+
+
+class TestRegistry:
+    def test_create_assigns_sequential_ids(self, registry, rng):
+        e0 = registry.create(simple_params(rng), window=0)
+        e1 = registry.create(simple_params(rng), window=0)
+        assert (e0.expert_id, e1.expert_id) == (0, 1)
+        assert len(registry) == 2
+        assert registry.ids() == [0, 1]
+
+    def test_create_copies_params(self, registry, rng):
+        params = simple_params(rng)
+        expert = registry.create(params, window=0)
+        params[0][...] = 99.0
+        assert not np.allclose(expert.params[0], 99.0)
+
+    def test_create_with_memory_seed(self, registry, rng):
+        expert = registry.create(simple_params(rng), window=0,
+                                 embeddings=rng.normal(size=(20, 5)), rng=rng)
+        assert not expert.memory.is_empty
+        assert expert.memory.signature.shape == (16, 5)
+
+    def test_memory_seed_requires_rng(self, registry, rng):
+        with pytest.raises(ValueError):
+            registry.create(simple_params(rng), window=0,
+                            embeddings=rng.normal(size=(5, 3)))
+
+    def test_get_unknown_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.get(7)
+
+    def test_remove(self, registry, rng):
+        expert = registry.create(simple_params(rng), window=0)
+        registry.remove(expert.expert_id)
+        assert len(registry) == 0
+        assert expert.expert_id not in registry
+
+    def test_clone_params_is_copy(self, registry, rng):
+        expert = registry.create(simple_params(rng), window=0)
+        clone = expert.clone_params()
+        clone[0][...] = 5.0
+        assert not np.allclose(expert.params[0], 5.0)
+
+    def test_memory_footprint_accounting(self, registry, rng):
+        registry.create(simple_params(rng), window=0,
+                        embeddings=rng.normal(size=(20, 8)), rng=rng)
+        footprint = registry.memory_footprint(embedding_dim=8, num_parties=10)
+        assert footprint["num_experts"] == 1
+        assert footprint["total_bytes"] > 0
+        assert footprint["mapping_bytes"] == 80
+
+    def test_allocate_id_reserves(self, registry, rng):
+        registry.create(simple_params(rng), window=0)
+        reserved = registry.allocate_id()
+        e2 = registry.create(simple_params(rng), window=0)
+        assert e2.expert_id == reserved + 1
+
+
+class TestMatching:
+    def make_registry_with_regimes(self, rng):
+        registry = ExpertRegistry(memory_capacity=24)
+        clean = registry.create(simple_params(rng), window=0,
+                                embeddings=rng.normal(size=(40, 4)), rng=rng)
+        foggy = registry.create(simple_params(rng), window=1,
+                                embeddings=rng.normal(size=(40, 4)) + 5.0, rng=rng)
+        return registry, clean, foggy
+
+    def test_matches_same_regime(self, rng):
+        registry, _clean, foggy = self.make_registry_with_regimes(rng)
+        cluster = rng.normal(size=(30, 4)) + 5.0
+        result = match_cluster_to_expert(cluster, registry, epsilon=0.5, gamma=0.1)
+        assert result.matched
+        assert result.expert_id == foggy.expert_id
+
+    def test_rejects_new_regime(self, rng):
+        registry, _clean, _foggy = self.make_registry_with_regimes(rng)
+        cluster = rng.normal(size=(30, 4)) - 5.0  # a third, unseen regime
+        result = match_cluster_to_expert(cluster, registry, epsilon=0.3, gamma=0.1)
+        assert not result.matched
+        assert result.expert_id is None
+        assert result.score > 0.3
+
+    def test_empty_registry_no_match(self, rng):
+        registry = ExpertRegistry()
+        result = match_cluster_to_expert(rng.normal(size=(10, 3)), registry,
+                                         epsilon=1.0)
+        assert not result.matched
+        assert result.score == float("inf")
+
+    def test_experts_without_memory_skipped(self, rng):
+        registry = ExpertRegistry()
+        registry.create(simple_params(rng), window=0)  # no memory seed
+        result = match_cluster_to_expert(rng.normal(size=(10, 3)), registry,
+                                         epsilon=10.0)
+        assert not result.matched
+
+    def test_exclude_set(self, rng):
+        registry, _clean, foggy = self.make_registry_with_regimes(rng)
+        cluster = rng.normal(size=(30, 4)) + 5.0
+        result = match_cluster_to_expert(cluster, registry, epsilon=0.5,
+                                         gamma=0.1,
+                                         exclude={foggy.expert_id})
+        assert result.expert_id != foggy.expert_id
+
+    def test_scores_for_all_experts(self, rng):
+        registry, clean, foggy = self.make_registry_with_regimes(rng)
+        cluster = rng.normal(size=(30, 4))
+        result = match_cluster_to_expert(cluster, registry, epsilon=0.5, gamma=0.1)
+        assert set(result.scores) == {clean.expert_id, foggy.expert_id}
+
+    def test_subsampling_requires_rng(self, rng):
+        registry, _c, _f = self.make_registry_with_regimes(rng)
+        with pytest.raises(ValueError):
+            match_cluster_to_expert(rng.normal(size=(100, 4)), registry,
+                                    epsilon=0.5, max_rows=16)
+
+    def test_subsampling_matches_at_capacity_scale(self, rng):
+        registry, _clean, foggy = self.make_registry_with_regimes(rng)
+        cluster = rng.normal(size=(300, 4)) + 5.0
+        result = match_cluster_to_expert(cluster, registry, epsilon=0.6,
+                                         gamma=0.1, max_rows=24,
+                                         rng=spawn_rng(0, "sub"))
+        assert result.matched
+        assert result.expert_id == foggy.expert_id
+
+    def test_negative_epsilon_rejected(self, rng):
+        registry = ExpertRegistry()
+        with pytest.raises(ValueError):
+            match_cluster_to_expert(rng.normal(size=(5, 3)), registry,
+                                    epsilon=-0.1)
+
+    def test_nearest_expert(self, rng):
+        registry, _clean, foggy = self.make_registry_with_regimes(rng)
+        cluster = rng.normal(size=(20, 4)) + 5.0
+        expert = nearest_expert(cluster, registry, gamma=0.1)
+        assert expert is not None and expert.expert_id == foggy.expert_id
+
+    def test_nearest_expert_empty_registry(self, rng):
+        assert nearest_expert(rng.normal(size=(5, 3)), ExpertRegistry()) is None

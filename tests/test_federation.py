@@ -1,0 +1,161 @@
+"""Tests for the FL core: parties, aggregation, rounds, accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.federated import FederatedShiftDataset
+from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
+from repro.federation.aggregation import fedavg
+from repro.federation.party import LocalUpdate, Party
+from repro.federation.rounds import RoundConfig, run_fl_round
+from repro.nn.models import build_model
+from repro.nn.training import LocalTrainingConfig
+from repro.utils.params import flatten_params
+from repro.utils.rng import spawn_rng
+from tests.conftest import make_context, make_tiny_spec
+
+
+class TestParty:
+    def test_requires_window_data(self, tiny_spec, rng):
+        model = build_model("mlp", tiny_spec.input_shape, tiny_spec.num_classes, rng)
+        party = Party(3, model, tiny_spec.num_classes)
+        assert not party.has_data
+        with pytest.raises(RuntimeError):
+            _ = party.data
+
+    def test_rejects_foreign_window_data(self, tiny_spec, tiny_dataset, rng):
+        model = build_model("mlp", tiny_spec.input_shape, tiny_spec.num_classes, rng)
+        party = Party(3, model, tiny_spec.num_classes)
+        with pytest.raises(ValueError):
+            party.set_window_data(tiny_dataset.party_window(4, 0))
+
+    def test_local_train_returns_update(self, tiny_spec, tiny_dataset, rng):
+        model = build_model("mlp", tiny_spec.input_shape, tiny_spec.num_classes, rng)
+        party = Party(0, model, tiny_spec.num_classes)
+        party.set_window_data(tiny_dataset.party_window(0, 0))
+        init = model.get_params()
+        update = party.local_train(init, LocalTrainingConfig(epochs=1))
+        assert update.party_id == 0
+        assert update.num_samples == tiny_spec.train_per_window
+        assert not np.allclose(flatten_params(update.params), flatten_params(init))
+
+    def test_local_train_deterministic_per_round_tag(self, tiny_spec, tiny_dataset, rng):
+        model = build_model("mlp", tiny_spec.input_shape, tiny_spec.num_classes,
+                            spawn_rng(0, "m"))
+        party = Party(0, model, tiny_spec.num_classes, seed=7)
+        party.set_window_data(tiny_dataset.party_window(0, 0))
+        init = model.get_params()
+        u1 = party.local_train(init, LocalTrainingConfig(epochs=1), round_tag=5)
+        u2 = party.local_train(init, LocalTrainingConfig(epochs=1), round_tag=5)
+        assert np.allclose(flatten_params(u1.params), flatten_params(u2.params))
+
+    def test_evaluate_splits(self, tiny_spec, tiny_dataset, rng):
+        model = build_model("mlp", tiny_spec.input_shape, tiny_spec.num_classes, rng)
+        party = Party(0, model, tiny_spec.num_classes)
+        party.set_window_data(tiny_dataset.party_window(0, 0))
+        params = model.get_params()
+        for split in ("test", "train"):
+            acc, loss = party.evaluate(params, split)
+            assert 0.0 <= acc <= 1.0 and loss > 0
+        with pytest.raises(ValueError):
+            party.evaluate(params, "val")
+
+    def test_embeddings_shape_and_subsample(self, tiny_spec, tiny_dataset, rng):
+        model = build_model("mlp", tiny_spec.input_shape, tiny_spec.num_classes, rng)
+        party = Party(0, model, tiny_spec.num_classes)
+        party.set_window_data(tiny_dataset.party_window(0, 0))
+        params = model.get_params()
+        full = party.embeddings(params)
+        assert full.shape[0] == tiny_spec.train_per_window
+        sub, labels = party.embeddings_with_labels(params, max_samples=10)
+        assert sub.shape[0] == 10 and labels.shape == (10,)
+
+    def test_label_histogram(self, tiny_spec, tiny_dataset, rng):
+        model = build_model("mlp", tiny_spec.input_shape, tiny_spec.num_classes, rng)
+        party = Party(0, model, tiny_spec.num_classes)
+        party.set_window_data(tiny_dataset.party_window(0, 0))
+        hist = party.label_histogram()
+        assert np.isclose(hist.sum(), 1.0)
+
+
+class TestFedAvg:
+    def make_update(self, pid, value, samples):
+        return LocalUpdate(pid, [np.full((2, 2), value)], samples, 1.0)
+
+    def test_weighted_by_samples(self):
+        agg = fedavg([self.make_update(0, 0.0, 10), self.make_update(1, 1.0, 30)])
+        assert np.allclose(agg[0], 0.75)
+
+    def test_zero_sample_updates_ignored(self):
+        agg = fedavg([self.make_update(0, 0.0, 0), self.make_update(1, 1.0, 10)])
+        assert np.allclose(agg[0], 1.0)
+
+    def test_all_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg([self.make_update(0, 1.0, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg([])
+
+    @given(st.lists(st.tuples(st.floats(-5, 5), st.integers(1, 50)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_result_within_update_range(self, update_data):
+        updates = [self.make_update(i, v, n) for i, (v, n) in enumerate(update_data)]
+        agg = fedavg(updates)
+        values = [v for v, _ in update_data]
+        assert min(values) - 1e-9 <= agg[0][0, 0] <= max(values) + 1e-9
+
+
+class TestRounds:
+    def test_round_trains_and_aggregates(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        init = ctx.model_factory().get_params()
+        new_params, stats = run_fl_round(ctx.parties, [0, 1, 2], init,
+                                         ctx.round_config)
+        assert stats.participants == [0, 1, 2]
+        assert stats.total_samples == 3 * tiny_spec.train_per_window
+        assert np.isfinite(stats.mean_train_loss)
+        assert not np.allclose(flatten_params(new_params), flatten_params(init))
+
+    def test_round_requires_participants(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        with pytest.raises(ValueError):
+            run_fl_round(ctx.parties, [], ctx.model_factory().get_params(),
+                         ctx.round_config)
+
+    def test_round_rejects_unknown_party(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        with pytest.raises(KeyError):
+            run_fl_round(ctx.parties, [99], ctx.model_factory().get_params(),
+                         ctx.round_config)
+
+    def test_round_config_validation(self):
+        with pytest.raises(ValueError):
+            RoundConfig(participants_per_round=0)
+
+
+class TestAccounting:
+    def test_ledger_totals(self):
+        ledger = CommunicationLedger()
+        ledger.record_model_download(1000, num_parties=3)
+        ledger.record_model_upload(1000, num_parties=3)
+        ledger.record_statistics_upload(32, 16, 10, num_parties=5)
+        assert ledger.downlink_bytes == 1000 * 8 * 3
+        assert ledger.uplink_bytes > 1000 * 8 * 3
+        assert ledger.total_bytes == ledger.uplink_bytes + ledger.downlink_bytes
+        summary = ledger.summary()
+        assert summary["total_mb"] > 0
+
+    def test_profiler_phases(self):
+        profiler = RuntimeProfiler()
+        with profiler.phase("detection"):
+            sum(range(1000))
+        profiler.add("clustering", 0.5)
+        assert profiler.total_seconds("clustering") == pytest.approx(0.5)
+        assert profiler.mean_ms("detection") > 0
+        assert profiler.mean_ms("unknown") == 0.0
+        summary = profiler.summary()
+        assert set(summary) == {"detection", "clustering"}

@@ -1,0 +1,74 @@
+"""Tests for softmax cross-entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.losses import softmax_cross_entropy, softmax_probs
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax_probs(rng.normal(size=(5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_invariant_to_constant_shift(self, rng):
+        logits = rng.normal(size=(3, 4))
+        assert np.allclose(softmax_probs(logits), softmax_probs(logits + 100.0))
+
+    def test_numerically_stable_for_large_logits(self):
+        probs = softmax_probs(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        k = 5
+        logits = np.zeros((3, k))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(k))
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(size=(4, 6))
+        _, grad = softmax_cross_entropy(logits, rng.integers(0, 6, 4))
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = rng.integers(0, 4, 3)
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                lp = logits.copy(); lp[i, j] += eps
+                lm = logits.copy(); lm[i, j] -= eps
+                num = (softmax_cross_entropy(lp, labels)[0]
+                       - softmax_cross_entropy(lm, labels)[0]) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, abs=1e-6)
+
+    def test_rejects_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0]))
+
+    def test_rejects_1d_logits(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+    @given(hnp.arrays(np.float64, (4, 3), elements=st.floats(-20, 20)))
+    @settings(max_examples=30, deadline=None)
+    def test_loss_nonnegative(self, logits):
+        labels = np.array([0, 1, 2, 0])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss >= 0.0
+        assert np.isfinite(grad).all()

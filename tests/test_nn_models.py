@@ -1,0 +1,84 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_grad_error
+from repro.nn.models import build_model, embedding_dim, model_names
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name,shape", [
+        ("mlp", (12,)),
+        ("mlp", (1, 8, 8)),
+        ("lenet_mini", (1, 8, 8)),
+        ("lenet_mini", (3, 12, 12)),
+        ("convnet_small", (3, 12, 12)),
+    ])
+    def test_forward_shapes(self, name, shape, rng):
+        model = build_model(name, shape, 5, rng)
+        x = rng.random((3, *shape))
+        assert model.forward(x).shape == (3, 5)
+
+    @pytest.mark.parametrize("name,shape", [
+        ("mlp", (10,)),
+        ("lenet_mini", (1, 8, 8)),
+        ("convnet_small", (2, 8, 8)),
+    ])
+    def test_gradcheck(self, name, shape, rng):
+        model = build_model(name, shape, 3, rng)
+        x = rng.random((3, *shape))
+        y = rng.integers(0, 3, 3)
+        assert max_grad_error(model, x, y) < 2e-3
+
+    def test_unknown_name_rejected(self, rng):
+        with pytest.raises(KeyError):
+            build_model("resnet152", (3, 8, 8), 10, rng)
+
+    def test_too_few_classes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_model("mlp", (4,), 1, rng)
+
+    def test_lenet_rejects_non_divisible(self, rng):
+        with pytest.raises(ValueError):
+            build_model("lenet_mini", (1, 6, 6), 3, rng)
+
+    def test_lenet_rejects_flat_input(self, rng):
+        with pytest.raises(ValueError):
+            build_model("lenet_mini", (16,), 3, rng)
+
+    def test_model_names_registry(self):
+        assert set(model_names()) == {"mlp", "lenet_mini", "convnet_small",
+                                      "resnet_mini"}
+
+
+class TestEmbeddingDim:
+    @pytest.mark.parametrize("name,shape,kwargs", [
+        ("mlp", (12,), {}),
+        ("mlp", (12,), {"hidden": (20, 10)}),
+        ("lenet_mini", (1, 8, 8), {}),
+        ("lenet_mini", (1, 8, 8), {"embed_dim": 32}),
+        ("convnet_small", (3, 8, 8), {}),
+    ])
+    def test_matches_features(self, name, shape, kwargs, rng):
+        model = build_model(name, shape, 4, rng, **kwargs)
+        feats = model.features(rng.random((2, *shape)))
+        assert feats.shape[1] == embedding_dim(name, shape, **kwargs)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            embedding_dim("vgg", (3, 8, 8))
+
+
+class TestDeterminism:
+    def test_same_rng_same_init(self):
+        from repro.utils.rng import spawn_rng
+        a = build_model("mlp", (6,), 3, spawn_rng(5, "m"))
+        b = build_model("mlp", (6,), 3, spawn_rng(5, "m"))
+        assert np.allclose(a.get_flat_params(), b.get_flat_params())
+
+    def test_different_rng_different_init(self):
+        from repro.utils.rng import spawn_rng
+        a = build_model("mlp", (6,), 3, spawn_rng(5, "m"))
+        b = build_model("mlp", (6,), 3, spawn_rng(6, "m"))
+        assert not np.allclose(a.get_flat_params(), b.get_flat_params())

@@ -1,0 +1,132 @@
+"""Tests for the Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.network import Sequential
+
+
+def make_net(rng):
+    return Sequential([Dense(6, 5, rng), ReLU(), Dense(5, 3, rng)])
+
+
+class TestForward:
+    def test_logit_shape(self, rng):
+        net = make_net(rng)
+        assert net.forward(rng.normal(size=(4, 6))).shape == (4, 3)
+
+    def test_predict_returns_argmax(self, rng):
+        net = make_net(rng)
+        x = rng.normal(size=(4, 6))
+        preds = net.predict(x)
+        assert np.array_equal(preds, net.forward(x).argmax(axis=1))
+
+    def test_accuracy_range(self, rng):
+        net = make_net(rng)
+        x = rng.normal(size=(10, 6))
+        y = rng.integers(0, 3, 10)
+        assert 0.0 <= net.accuracy(x, y) <= 1.0
+
+    def test_accuracy_empty_rejected(self, rng):
+        net = make_net(rng)
+        with pytest.raises(ValueError):
+            net.accuracy(np.zeros((0, 6)), np.zeros(0, dtype=int))
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestFeatures:
+    def test_features_are_penultimate(self, rng):
+        net = make_net(rng)
+        x = rng.normal(size=(4, 6))
+        feats = net.features(x)
+        assert feats.shape == (4, 5)
+        # Applying the head manually reproduces the logits.
+        logits = feats @ net.layers[-1].params[0] + net.layers[-1].params[1]
+        assert np.allclose(logits, net.forward(x))
+
+    def test_features_flatten_conv_output(self, rng):
+        from repro.nn.layers import Conv2d, GlobalAvgPool2d
+        net = Sequential([Conv2d(1, 4, 3, rng, padding=1), GlobalAvgPool2d(),
+                          Dense(4, 2, rng)])
+        feats = net.features(rng.normal(size=(3, 1, 6, 6)))
+        assert feats.shape == (3, 4)
+
+    def test_custom_feature_index(self, rng):
+        net = Sequential([Dense(6, 5, rng), ReLU(), Dense(5, 3, rng)],
+                         feature_index=1)
+        feats = net.features(rng.normal(size=(2, 6)))
+        assert feats.shape == (2, 5)
+
+    def test_feature_index_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            Sequential([Dense(2, 2, rng)], feature_index=5)
+
+
+class TestParams:
+    def test_get_set_roundtrip(self, rng):
+        net = make_net(rng)
+        saved = net.get_params()
+        x = rng.normal(size=(3, 6))
+        before = net.forward(x)
+        net.set_params([p * 0 for p in saved])
+        assert not np.allclose(net.forward(x), before)
+        net.set_params(saved)
+        assert np.allclose(net.forward(x), before)
+
+    def test_get_params_is_deep_copy(self, rng):
+        net = make_net(rng)
+        saved = net.get_params()
+        saved[0][...] = 0
+        assert not np.allclose(net.params[0], 0)
+
+    def test_flat_roundtrip(self, rng):
+        net = make_net(rng)
+        flat = net.get_flat_params()
+        assert flat.size == net.num_params
+        net.set_flat_params(flat * 2)
+        assert np.allclose(net.get_flat_params(), flat * 2)
+
+    def test_set_params_shape_mismatch(self, rng):
+        net = make_net(rng)
+        bad = net.get_params()
+        bad[0] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.set_params(bad)
+
+    def test_set_params_length_mismatch(self, rng):
+        net = make_net(rng)
+        with pytest.raises(ValueError):
+            net.set_params(net.get_params()[:-1])
+
+    def test_zero_grads(self, rng):
+        net = make_net(rng)
+        from repro.nn.losses import softmax_cross_entropy
+        logits = net.forward(rng.normal(size=(4, 6)), training=True)
+        _, grad = softmax_cross_entropy(logits, rng.integers(0, 3, 4))
+        net.backward(grad)
+        assert any(np.abs(g).sum() > 0 for g in net.grads)
+        net.zero_grads()
+        assert all(np.all(g == 0) for g in net.grads)
+
+    def test_describe_mentions_layers(self, rng):
+        assert "Dense" in make_net(rng).describe()
+
+
+class TestExtraState:
+    def test_roundtrip_with_batchnorm(self, rng):
+        from repro.nn.layers import BatchNorm
+        net = Sequential([Dense(4, 3, rng), BatchNorm(3), Dense(3, 2, rng)])
+        net.forward(rng.normal(size=(16, 4)), training=True)
+        state = net.extra_state()
+        other = Sequential([Dense(4, 3, rng), BatchNorm(3), Dense(3, 2, rng)])
+        other.load_extra_state(state)
+        assert np.allclose(other.layers[1].running_mean, net.layers[1].running_mean)
+
+    def test_length_mismatch_rejected(self, rng):
+        net = make_net(rng)
+        with pytest.raises(ValueError):
+            net.load_extra_state([{}])

@@ -1,0 +1,192 @@
+"""Tests for the stream-processing substrate (windows, engine, sources)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streaming import (
+    ArrayStreamSource,
+    Record,
+    SlidingWindowAssigner,
+    StreamEngine,
+    TumblingWindowAssigner,
+    WindowBatch,
+)
+from repro.streaming.engine import LateRecordError
+from repro.utils.rng import spawn_rng
+
+
+class TestTumblingWindows:
+    def test_assignment(self):
+        assigner = TumblingWindowAssigner(size=10.0)
+        assert assigner.assign(0.0) == [0]
+        assert assigner.assign(9.999) == [0]
+        assert assigner.assign(10.0) == [1]
+
+    def test_bounds(self):
+        assigner = TumblingWindowAssigner(size=5.0, offset=1.0)
+        assert assigner.window_bounds(2) == (11.0, 16.0)
+
+    def test_last_closed(self):
+        assigner = TumblingWindowAssigner(size=10.0)
+        assert assigner.last_closed_window(9.0) == -1
+        assert assigner.last_closed_window(10.0) == 0
+        assert assigner.last_closed_window(25.0) == 1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            TumblingWindowAssigner(size=0)
+
+    @given(st.floats(0, 1000), st.floats(0.5, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, t, size):
+        assigner = TumblingWindowAssigner(size=size)
+        ids = assigner.assign(t)
+        assert len(ids) == 1
+        start, end = assigner.window_bounds(ids[0])
+        assert start <= t < end
+
+
+class TestSlidingWindows:
+    def test_overlapping_assignment(self):
+        assigner = SlidingWindowAssigner(size=10.0, slide=5.0)
+        assert assigner.assign(7.0) == [0, 1]
+        assert assigner.assign(2.0) == [0]
+
+    def test_tumbling_special_case(self):
+        sliding = SlidingWindowAssigner(size=10.0, slide=10.0)
+        tumbling = TumblingWindowAssigner(size=10.0)
+        for t in (0.0, 3.7, 9.99, 10.0, 25.3):
+            assert sliding.assign(t) == tumbling.assign(t)
+
+    def test_rejects_slide_bigger_than_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(size=5.0, slide=6.0)
+
+    @given(st.floats(0, 500), st.floats(1, 20), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_property(self, t, slide, ratio):
+        size = slide * ratio
+        assigner = SlidingWindowAssigner(size=size, slide=slide)
+        ids = assigner.assign(t)
+        assert ids, "every timestamp belongs to at least one window"
+        for wid in ids:
+            start, end = assigner.window_bounds(wid)
+            assert start <= t < end
+        # Number of covering windows equals size/slide (up to boundary).
+        assert len(ids) <= ratio + 1
+
+
+class TestRecordsAndBatches:
+    def test_record_rejects_nan_timestamp(self):
+        with pytest.raises(ValueError):
+            Record(timestamp=float("nan"), x=np.zeros(2), y=0)
+
+    def test_batch_to_arrays(self):
+        batch = WindowBatch(0, 0.0, 1.0, [
+            Record(0.1, np.array([1.0]), 0),
+            Record(0.2, np.array([2.0]), 1),
+        ])
+        x, y = batch.to_arrays()
+        assert x.shape == (2, 1)
+        assert np.array_equal(y, [0, 1])
+
+    def test_empty_batch_to_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            WindowBatch(0, 0.0, 1.0).to_arrays()
+
+    def test_label_histogram(self):
+        batch = WindowBatch(0, 0.0, 1.0, [
+            Record(0.1, np.zeros(1), 0),
+            Record(0.2, np.zeros(1), 0),
+            Record(0.3, np.zeros(1), 2),
+        ])
+        hist = batch.label_histogram(3)
+        assert np.allclose(hist, [2 / 3, 0.0, 1 / 3])
+
+    def test_label_histogram_rejects_out_of_range(self):
+        batch = WindowBatch(0, 0.0, 1.0, [Record(0.1, np.zeros(1), 5)])
+        with pytest.raises(ValueError):
+            batch.label_histogram(3)
+
+
+class TestStreamEngine:
+    def make_engine(self, size=10.0):
+        return StreamEngine(TumblingWindowAssigner(size=size))
+
+    def test_emits_closed_windows_in_order(self):
+        engine = self.make_engine()
+        for t in (1.0, 5.0, 12.0, 15.0, 23.0):
+            engine.ingest(Record(t, np.zeros(1), 0))
+        batches = engine.advance_watermark(20.0)
+        assert [b.window_id for b in batches] == [0, 1]
+        assert batches[0].size == 2
+
+    def test_watermark_must_be_monotone(self):
+        engine = self.make_engine()
+        engine.advance_watermark(10.0)
+        with pytest.raises(ValueError):
+            engine.advance_watermark(5.0)
+
+    def test_late_records_dropped_and_counted(self):
+        engine = self.make_engine()
+        engine.advance_watermark(10.0)
+        engine.ingest(Record(3.0, np.zeros(1), 0))
+        assert engine.records_dropped_late == 1
+
+    def test_late_records_strict_raises(self):
+        engine = self.make_engine()
+        engine.advance_watermark(10.0)
+        with pytest.raises(LateRecordError):
+            engine.ingest(Record(3.0, np.zeros(1), 0), strict=True)
+
+    def test_records_sorted_within_window(self):
+        engine = self.make_engine()
+        for t in (5.0, 1.0, 3.0):
+            engine.ingest(Record(t, np.zeros(1), 0))
+        [batch] = engine.advance_watermark(10.0)
+        assert [r.timestamp for r in batch.records] == [1.0, 3.0, 5.0]
+
+    def test_pending_windows(self):
+        engine = self.make_engine()
+        engine.ingest(Record(25.0, np.zeros(1), 0))
+        assert engine.pending_windows() == [2]
+
+    def test_sliding_engine_duplicates_records(self):
+        engine = StreamEngine(SlidingWindowAssigner(size=10.0, slide=5.0))
+        engine.ingest(Record(7.0, np.zeros(1), 0))
+        batches = engine.advance_watermark(100.0)
+        assert sum(b.size for b in batches) == 2
+
+
+class TestArrayStreamSource:
+    def test_segments_occupy_disjoint_time(self, rng):
+        x1, y1 = rng.random((5, 2)), rng.integers(0, 2, 5)
+        x2, y2 = rng.random((3, 2)), rng.integers(0, 2, 3)
+        source = ArrayStreamSource([(x1, y1), (x2, y2)], segment_duration=1.0)
+        records = list(source)
+        assert len(records) == 8
+        assert all(r.timestamp < 1.0 for r in records[:5])
+        assert all(1.0 <= r.timestamp < 2.0 for r in records[5:])
+
+    def test_jitter_requires_rng(self, rng):
+        with pytest.raises(ValueError):
+            ArrayStreamSource([(np.zeros((2, 1)), np.zeros(2, dtype=int))],
+                              jitter=0.5)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayStreamSource([(np.zeros((3, 1)), np.zeros(2, dtype=int))])
+
+    def test_end_to_end_with_engine(self, rng):
+        """Stream two windows of data through the engine and recover them."""
+        x1, y1 = rng.random((6, 2)), rng.integers(0, 3, 6)
+        x2, y2 = rng.random((6, 2)), rng.integers(0, 3, 6)
+        source = ArrayStreamSource([(x1, y1), (x2, y2)], segment_duration=1.0)
+        engine = StreamEngine(TumblingWindowAssigner(size=1.0))
+        for record in source:
+            engine.ingest(record)
+        batches = engine.advance_watermark(source.total_duration)
+        assert len(batches) == 2
+        rx, ry = batches[0].to_arrays()
+        assert np.allclose(np.sort(rx, axis=0), np.sort(x1, axis=0))

@@ -1,0 +1,161 @@
+"""Tests for parameter flattening / aggregation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.params import (
+    ParamSpec,
+    add_scaled,
+    flatten_params,
+    params_cosine_similarity,
+    params_l2_distance,
+    unflatten_params,
+    weighted_average,
+    zeros_like_params,
+)
+
+
+def make_params(rng, shapes=((3, 4), (4,), (2, 2, 2))):
+    return [rng.normal(size=s) for s in shapes]
+
+
+class TestFlattenRoundtrip:
+    def test_roundtrip_preserves_values(self, rng):
+        params = make_params(rng)
+        flat = flatten_params(params)
+        restored = unflatten_params(flat, params)
+        for a, b in zip(params, restored):
+            assert np.allclose(a, b)
+
+    def test_flat_length_is_total_size(self, rng):
+        params = make_params(rng)
+        assert flatten_params(params).size == sum(p.size for p in params)
+
+    def test_empty_params(self):
+        assert flatten_params([]).size == 0
+
+    def test_spec_rejects_wrong_size_vector(self, rng):
+        params = make_params(rng)
+        spec = ParamSpec.of(params)
+        with pytest.raises(ValueError):
+            spec.unflatten(np.zeros(spec.total_size + 1))
+
+    def test_unflatten_copies(self, rng):
+        params = make_params(rng)
+        flat = flatten_params(params)
+        restored = unflatten_params(flat, params)
+        restored[0][0, 0] = 999.0
+        assert params[0][0, 0] != 999.0
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, sizes):
+        rng = np.random.default_rng(0)
+        params = [rng.normal(size=(s,)) for s in sizes]
+        flat = flatten_params(params)
+        restored = unflatten_params(flat, params)
+        assert all(np.allclose(a, b) for a, b in zip(params, restored))
+
+
+class TestWeightedAverage:
+    def test_equal_weights_is_mean(self, rng):
+        a, b = make_params(rng), make_params(rng)
+        avg = weighted_average([a, b], [1.0, 1.0])
+        for x, y, z in zip(a, b, avg):
+            assert np.allclose((x + y) / 2, z)
+
+    def test_weights_normalize(self, rng):
+        a, b = make_params(rng), make_params(rng)
+        avg1 = weighted_average([a, b], [1.0, 3.0])
+        avg2 = weighted_average([a, b], [10.0, 30.0])
+        for x, y in zip(avg1, avg2):
+            assert np.allclose(x, y)
+
+    def test_single_set_identity(self, rng):
+        a = make_params(rng)
+        avg = weighted_average([a], [5.0])
+        for x, y in zip(a, avg):
+            assert np.allclose(x, y)
+
+    def test_zero_total_weight_rejected(self, rng):
+        a = make_params(rng)
+        with pytest.raises(ValueError):
+            weighted_average([a, a], [0.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_average([], [])
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            weighted_average([make_params(rng)], [1.0, 2.0])
+
+    @given(st.floats(0.01, 10), st.floats(0.01, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_convex_combination_bounds(self, w1, w2):
+        rng = np.random.default_rng(1)
+        a = [rng.normal(size=(4,))]
+        b = [rng.normal(size=(4,))]
+        avg = weighted_average([a, b], [w1, w2])[0]
+        lo = np.minimum(a[0], b[0]) - 1e-12
+        hi = np.maximum(a[0], b[0]) + 1e-12
+        assert np.all(avg >= lo) and np.all(avg <= hi)
+
+
+class TestAddScaledAndZeros:
+    def test_add_scaled_accumulates(self, rng):
+        a = make_params(rng)
+        acc = zeros_like_params(a)
+        add_scaled(acc, a, 2.0)
+        for x, y in zip(acc, a):
+            assert np.allclose(x, 2.0 * y)
+
+    def test_zeros_shapes(self, rng):
+        a = make_params(rng)
+        z = zeros_like_params(a)
+        assert all(x.shape == y.shape for x, y in zip(a, z))
+        assert all(np.all(x == 0) for x in z)
+
+    def test_add_scaled_length_mismatch(self, rng):
+        a = make_params(rng)
+        with pytest.raises(ValueError):
+            add_scaled(a, a[:-1], 1.0)
+
+
+class TestSimilarity:
+    def test_cosine_self_is_one(self, rng):
+        a = make_params(rng)
+        assert params_cosine_similarity(a, a) == pytest.approx(1.0)
+
+    def test_cosine_negation_is_minus_one(self, rng):
+        a = make_params(rng)
+        b = [-p for p in a]
+        assert params_cosine_similarity(a, b) == pytest.approx(-1.0)
+
+    def test_cosine_zero_vs_zero(self):
+        z = [np.zeros(3)]
+        assert params_cosine_similarity(z, z) == 1.0
+
+    def test_cosine_zero_vs_nonzero(self, rng):
+        z = [np.zeros(3)]
+        a = [np.ones(3)]
+        assert params_cosine_similarity(z, a) == 0.0
+
+    def test_l2_distance_self_zero(self, rng):
+        a = make_params(rng)
+        assert params_l2_distance(a, a) == pytest.approx(0.0)
+
+    def test_l2_distance_symmetric(self, rng):
+        a, b = make_params(rng), make_params(rng)
+        assert params_l2_distance(a, b) == pytest.approx(params_l2_distance(b, a))
+
+    @given(st.floats(0.1, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_cosine_scale_invariant(self, scale):
+        rng = np.random.default_rng(2)
+        a = [rng.normal(size=(6,))]
+        b = [rng.normal(size=(6,))]
+        s1 = params_cosine_similarity(a, b)
+        s2 = params_cosine_similarity([scale * a[0]], b)
+        assert s1 == pytest.approx(s2, abs=1e-9)
