@@ -1,0 +1,94 @@
+"""Register a custom strategy and run it from a saved experiment plan.
+
+Demonstrates the composable experiment API end to end:
+
+1. ``@register_strategy`` adds a user-defined method next to the paper's
+   five baselines and ShiftEx — no library edits needed;
+2. an :class:`ExperimentPlan` declares the dataset x strategies x seeds grid
+   (with per-strategy kwargs) and serializes to JSON;
+3. the saved plan runs through ``SerialExecutor`` or the process-parallel
+   ``ParallelExecutor`` — equivalently via ``python -m repro run plan.json``.
+
+Usage::
+
+    python examples/custom_strategy_plan.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+from repro.baselines.fedavg import FedAvgStrategy
+from repro.experiments import (
+    ExperimentPlan,
+    ParallelExecutor,
+    ProgressLogger,
+    SerialExecutor,
+    load_plan,
+    register_strategy,
+    save_plan,
+)
+from repro.harness import render_drop_time_max_table
+
+
+@register_strategy("fedavg-finetune", overwrite=True)
+class FedAvgFineTuneStrategy(FedAvgStrategy):
+    """FedAvg whose parties take extra local epochs after a shift window."""
+
+    name = "fedavg-finetune"
+
+    def __init__(self, extra_epochs: int = 1) -> None:
+        super().__init__()
+        self.extra_epochs = extra_epochs
+
+    def _local_config(self):
+        base = super()._local_config()
+        if self._in_shift_window:
+            return replace(base, epochs=base.epochs + self.extra_epochs)
+        return base
+
+    def start_window(self, window: int) -> None:
+        self._in_shift_window = window > 0
+        super().start_window(window)
+
+    def setup(self, ctx) -> None:
+        self._in_shift_window = False
+        super().setup(ctx)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cifar10_c_sim")
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    plan = ExperimentPlan.build(
+        args.dataset,
+        {
+            "fedavg": "fedavg",
+            "fedavg-ft2": {"method": "fedavg-finetune",
+                           "kwargs": {"extra_epochs": 2}},
+        },
+        seeds=(0, 1),
+        profile="ci",
+        name="custom-strategy-demo",
+    )
+
+    plan_path = Path(tempfile.gettempdir()) / "custom_strategy_demo.json"
+    save_plan(plan_path, plan)
+    print(f"plan saved to {plan_path} "
+          f"(also runnable via: python -m repro run {plan_path} --jobs {args.jobs})")
+
+    executor = ParallelExecutor(args.jobs) if args.jobs > 1 else SerialExecutor()
+    result = load_plan(plan_path).run(executor=executor,
+                                      callbacks=(ProgressLogger(),))
+    print()
+    print(render_drop_time_max_table(
+        result, title=f"{args.dataset}: FedAvg vs shift-aware fine-tuning"))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,16 +6,16 @@ Drop/Time/Max table the paper reports and ShiftEx's expert dynamics.
 
 Usage::
 
-    python examples/quickstart.py [--profile ci|small] [--seed N]
+    python examples/quickstart.py [--profile ci|small] [--seed N] [--jobs N]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.harness import run_comparison, render_drop_time_max_table
+from repro.experiments import ExperimentPlan, ParallelExecutor, SerialExecutor
+from repro.harness import render_drop_time_max_table
 from repro.harness.comparison import (
-    default_strategies,
     expert_distribution_table,
     render_expert_distribution,
 )
@@ -26,13 +26,16 @@ def main() -> None:
     parser.add_argument("--profile", default="ci", choices=("ci", "small", "paper"))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--dataset", default="cifar10_c_sim")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="processes for the strategy grid")
     args = parser.parse_args()
 
     print(f"Running ShiftEx vs FedProx on {args.dataset} "
           f"(profile={args.profile}, seed={args.seed}) ...")
-    strategies = default_strategies(("fedprox", "shiftex"))
-    result = run_comparison(args.dataset, strategies, profile=args.profile,
-                            seeds=(args.seed,))
+    plan = ExperimentPlan.build(args.dataset, ["fedprox", "shiftex"],
+                                seeds=(args.seed,), profile=args.profile)
+    executor = ParallelExecutor(args.jobs) if args.jobs > 1 else SerialExecutor()
+    result = plan.run(executor=executor)
 
     print()
     print(render_drop_time_max_table(

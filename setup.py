@@ -1,3 +1,17 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="shiftex-repro",
+    version="1.1.0",
+    description=("Reproduction of 'Shift Happens: Mixture of Experts based "
+                 "Continual Adaptation in Federated Learning' (Middleware "
+                 "2025) with a composable experiment API"),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest"]},
+    entry_points={"console_scripts": ["repro=repro.__main__:main"]},
+)

@@ -4,24 +4,44 @@ Reproduces "Shift Happens: Mixture of Experts based Continual Adaptation in
 Federated Learning" (Bhope et al., Middleware 2025) as a self-contained
 Python library: a numpy neural-network substrate, synthetic shifted federated
 datasets, a streaming/windowing engine, MMD/JSD shift detection, the ShiftEx
-expert-management core, four comparison baselines, and an experiment harness
-regenerating every table and figure of the paper's evaluation.
+expert-management core, five comparison baselines, and a composable
+experiment layer (strategy registry, declarative plans, serial/parallel
+executors, run events) regenerating every table and figure of the paper's
+evaluation.
 
 Quickstart::
 
-    from repro.harness import run_comparison, render_drop_time_max_table
-    result = run_comparison("cifar10_c_sim", profile="ci", seeds=(0,))
+    from repro.experiments import ExperimentPlan, ParallelExecutor
+    from repro.harness import render_drop_time_max_table
+
+    plan = ExperimentPlan.build("cifar10_c_sim", ["fedprox", "shiftex"],
+                                seeds=(0, 1), profile="ci")
+    result = plan.run(executor=ParallelExecutor(jobs=2))
     print(render_drop_time_max_table(result, title="CIFAR-10-C (simulated)"))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import ShiftExConfig, ShiftExStrategy
+from repro.experiments import (
+    ExperimentPlan,
+    ParallelExecutor,
+    SerialExecutor,
+    build_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.harness import run_comparison, run_strategy
 
 __all__ = [
     "ShiftExConfig",
     "ShiftExStrategy",
+    "ExperimentPlan",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "register_strategy",
+    "build_strategy",
+    "strategy_names",
     "run_comparison",
     "run_strategy",
     "__version__",

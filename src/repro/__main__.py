@@ -2,8 +2,11 @@
 
 Commands
 --------
-* ``compare``  — run strategies over a simulated dataset and print the paper-
-  style Drop/Time/Max table (optionally saving JSON results per run);
+* ``compare``  — run any registered strategies over a simulated dataset and
+  print the paper-style Drop/Time/Max table (``--jobs N`` fans the
+  strategy x seed grid over processes);
+* ``run``      — execute a saved experiment plan (JSON or TOML);
+* ``methods``  — list the strategy registry;
 * ``datasets`` — list the simulated datasets and their shift schedules;
 * ``inspect``  — show a dataset spec's schedule window by window.
 """
@@ -15,10 +18,18 @@ import sys
 from pathlib import Path
 
 from repro.data.registry import build_shift_schedule, dataset_names, get_dataset_spec
-from repro.harness import run_comparison, render_drop_time_max_table
+from repro.experiments import (
+    ExperimentPlan,
+    ParallelExecutor,
+    ProgressLogger,
+    SerialExecutor,
+    load_plan,
+    strategy_description,
+    strategy_names,
+)
+from repro.harness import render_drop_time_max_table
 from repro.harness.comparison import (
     PAPER_METHODS,
-    default_strategies,
     expert_distribution_table,
     render_expert_distribution,
 )
@@ -55,33 +66,90 @@ def cmd_inspect(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
-    methods = tuple(args.methods) if args.methods else PAPER_METHODS
-    unknown = set(methods) - set(PAPER_METHODS)
-    if unknown:
-        print(f"unknown methods: {sorted(unknown)}; "
-              f"available: {PAPER_METHODS}", file=sys.stderr)
-        return 2
-    strategies = default_strategies(methods)
-    seeds = tuple(args.seeds)
-    print(f"running {list(methods)} on {args.dataset} "
-          f"(profile={args.profile}, seeds={seeds}) ...", flush=True)
-    result = run_comparison(args.dataset, strategies, profile=args.profile,
-                            seeds=seeds)
+def cmd_methods(_args) -> int:
+    print(f"{'name':12s} description")
+    for name in strategy_names():
+        print(f"{name:12s} {strategy_description(name)}")
+    return 0
+
+
+def _executor(jobs: int):
+    if jobs < 1:
+        raise ValueError("--jobs must be at least 1")
+    return ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+
+
+def _print_result(result, title: str) -> None:
     print()
-    print(render_drop_time_max_table(
-        result, title=f"{args.dataset}: Drop / Recovery Time / Max Accuracy"))
+    print(render_drop_time_max_table(result, title=title))
     if "shiftex" in result.runs:
         print("\nShiftEx expert dynamics:")
         print(render_expert_distribution(expert_distribution_table(result)))
+
+
+def _save_runs(result, output_dir: str) -> None:
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, runs in result.runs.items():
+        for run in runs:
+            path = out / f"{result.dataset}_{name}_seed{run.seed}.json"
+            save_run_result(path, run)
+    print(f"\nper-run JSON written to {out}/")
+
+
+def cmd_compare(args) -> int:
+    methods = tuple(args.methods) if args.methods else PAPER_METHODS
+    available = strategy_names()
+    unknown = set(methods) - set(available)
+    if unknown:
+        print(f"unknown methods: {sorted(unknown)}; "
+              f"available: {available}", file=sys.stderr)
+        return 2
+    seeds = tuple(args.seeds)
+    print(f"running {list(methods)} on {args.dataset} "
+          f"(profile={args.profile}, seeds={seeds}, jobs={args.jobs}) ...",
+          flush=True)
+    callbacks = (ProgressLogger(),) if args.progress else ()
+    try:
+        plan = ExperimentPlan.build(args.dataset, methods, seeds=seeds,
+                                    profile=args.profile)
+        result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
+    except (ValueError, KeyError) as exc:
+        print(str(exc).strip("'\""), file=sys.stderr)
+        return 2
+    _print_result(result,
+                  title=f"{args.dataset}: Drop / Recovery Time / Max Accuracy")
     if args.output_dir:
-        out = Path(args.output_dir)
-        out.mkdir(parents=True, exist_ok=True)
-        for name, runs in result.runs.items():
-            for run in runs:
-                path = out / f"{args.dataset}_{name}_seed{run.seed}.json"
-                save_run_result(path, run)
-        print(f"\nper-run JSON written to {out}/")
+        _save_runs(result, args.output_dir)
+    return 0
+
+
+def cmd_run(args) -> int:
+    try:
+        plan = load_plan(args.plan)
+    except (FileNotFoundError, ValueError, TypeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    unknown = {s.method or s.label for s in plan.strategies} - set(strategy_names())
+    if unknown:
+        print(f"plan references unregistered methods: {sorted(unknown)}; "
+              f"available: {strategy_names()}", file=sys.stderr)
+        return 2
+    label = plan.name or Path(args.plan).stem
+    print(f"running plan '{label}': {[s.label for s in plan.strategies]} on "
+          f"{plan.dataset} (profile={plan.profile}, seeds={plan.seeds}, "
+          f"jobs={args.jobs}) ...", flush=True)
+    callbacks = (ProgressLogger(),) if args.progress else ()
+    try:
+        result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
+    except (ValueError, KeyError) as exc:
+        # KeyError: unknown dataset or profile named inside the plan file.
+        print(str(exc).strip("'\""), file=sys.stderr)
+        return 2
+    _print_result(result,
+                  title=f"{plan.dataset}: Drop / Recovery Time / Max Accuracy")
+    if args.output_dir:
+        _save_runs(result, args.output_dir)
     return 0
 
 
@@ -101,23 +169,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("dataset", choices=dataset_names())
     p_inspect.set_defaults(func=cmd_inspect)
 
+    p_methods = subparsers.add_parser(
+        "methods", help="list the registered strategies")
+    p_methods.set_defaults(func=cmd_methods)
+
     p_compare = subparsers.add_parser(
         "compare", help="run strategies on a dataset and print the table")
     p_compare.add_argument("dataset", choices=dataset_names())
     p_compare.add_argument("--profile", default="ci",
                            choices=("ci", "small", "paper"))
     p_compare.add_argument("--methods", nargs="*", metavar="METHOD",
-                           help=f"subset of {PAPER_METHODS} (default: all)")
+                           help="registered methods to run (see the 'methods' "
+                                f"command; default: {PAPER_METHODS})")
     p_compare.add_argument("--seeds", nargs="*", type=int, default=[0])
+    p_compare.add_argument("--jobs", type=int, default=1,
+                           help="run the strategy x seed grid over N processes")
+    p_compare.add_argument("--progress", action="store_true",
+                           help="print per-window progress lines")
     p_compare.add_argument("--output-dir", default=None,
                            help="write per-run JSON results here")
     p_compare.set_defaults(func=cmd_compare)
+
+    p_run = subparsers.add_parser(
+        "run", help="execute a saved experiment plan (JSON or TOML)")
+    p_run.add_argument("plan", help="path to the plan file")
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="run the strategy x seed grid over N processes")
+    p_run.add_argument("--progress", action="store_true",
+                       help="print per-window progress lines")
+    p_run.add_argument("--output-dir", default=None,
+                       help="write per-run JSON results here")
+    p_run.set_defaults(func=cmd_run)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `python -m repro methods | head`
+        return 0
 
 
 if __name__ == "__main__":

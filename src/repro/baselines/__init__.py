@@ -23,17 +23,17 @@ BASELINE_NAMES = ("fedavg", "fedprox", "oort", "fielding", "feddrift")
 
 
 def build_baseline(name: str, **kwargs):
-    """Construct a baseline strategy by name."""
-    registry = {
-        "fedavg": FedAvgStrategy,
-        "fedprox": FedProxStrategy,
-        "oort": OortStrategy,
-        "fielding": FieldingStrategy,
-        "feddrift": FedDriftStrategy,
-    }
-    if name not in registry:
-        raise KeyError(f"unknown baseline '{name}'; available: {sorted(registry)}")
-    return registry[name](**kwargs)
+    """Construct a baseline strategy by name.
+
+    Thin shim over the strategy registry (each baseline class registers
+    itself with ``@register_strategy``), restricted to the paper's
+    comparative techniques.
+    """
+    from repro.experiments.registry import build_strategy
+    if name not in BASELINE_NAMES:
+        raise KeyError(
+            f"unknown baseline '{name}'; available: {sorted(BASELINE_NAMES)}")
+    return build_strategy(name, **kwargs)
 
 
 __all__ = [

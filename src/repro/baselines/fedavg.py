@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.experiments.registry import register_strategy
 from repro.federation.rounds import run_fl_round
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 from repro.utils.params import Params
 
 
+@register_strategy("fedavg")
 class FedAvgStrategy(ContinualStrategy):
     """Single global model, uniform random selection (McMahan et al., 2017)."""
 

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.registry import register_strategy
 from repro.federation.rounds import run_fl_round
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 from repro.utils.params import Params
 
 
+@register_strategy("feddrift")
 class FedDriftStrategy(ContinualStrategy):
     """Multiple global models, drift detection via local loss patterns."""
 

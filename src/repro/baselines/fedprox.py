@@ -11,8 +11,10 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.baselines.fedavg import FedAvgStrategy
+from repro.experiments.registry import register_strategy
 
 
+@register_strategy("fedprox")
 class FedProxStrategy(FedAvgStrategy):
     """FedAvg aggregation + proximal term in every party's local objective."""
 

@@ -16,12 +16,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detection.divergence import jsd
+from repro.experiments.registry import register_strategy
 from repro.federation.rounds import run_fl_round
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 from repro.flips.selector import FlipsSelector
 from repro.utils.params import Params
 
 
+@register_strategy("fielding")
 class FieldingStrategy(ContinualStrategy):
     """Per-label-cluster models with JSD-triggered re-clustering."""
 

@@ -15,11 +15,13 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.experiments.registry import register_strategy
 from repro.federation.rounds import run_fl_round
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 from repro.utils.params import Params
 
 
+@register_strategy("oort")
 class OortStrategy(ContinualStrategy):
     """Single global model with epsilon-greedy utility-based selection."""
 

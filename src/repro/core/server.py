@@ -29,6 +29,7 @@ from repro.core.config import ShiftExConfig
 from repro.core.detector import PartyLocalState, PartyShiftReport, compute_party_report
 from repro.clustering.selection import select_num_clusters
 from repro.detection.calibration import CalibratedThresholds, ThresholdCalibrator
+from repro.experiments.registry import register_strategy
 from repro.experts.consolidation import consolidate_experts
 from repro.experts.matching import match_cluster_to_expert
 from repro.experts.registry import ExpertRegistry
@@ -48,6 +49,7 @@ def split_budget(cohort_sizes: dict[int, int], total: int) -> dict[int, int]:
     return {k: min(b, sizes[k]) for k, b in budget.items()}
 
 
+@register_strategy("shiftex")
 class ShiftExStrategy(ContinualStrategy):
     """The paper's shift-aware mixture-of-experts framework."""
 

@@ -1,0 +1,267 @@
+"""Declarative experiment plans: dataset x strategies x seeds x profile.
+
+An :class:`ExperimentPlan` is the unit of work the experiment layer runs:
+
+    plan = ExperimentPlan.build("cifar10_c_sim", ["fedprox", "shiftex"],
+                                seeds=(0, 1, 2), profile="small")
+    result = plan.run(executor=ParallelExecutor(jobs=4))
+
+Plans serialize to JSON (and load from JSON or TOML), so a paper table
+becomes a checked-in file executed with ``python -m repro run plan.json``.
+Each (strategy, seed) pair is one :class:`ExperimentCell`; cells are
+independent and deterministically seeded, which is what lets the parallel
+executor reproduce serial results bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.data.registry import DatasetSpec
+from repro.experiments.executors import SerialExecutor
+from repro.experiments.registry import build_strategy
+from repro.experiments.results import ComparisonResult
+from repro.federation.rounds import RoundConfig
+from repro.harness.profiles import RunSettings, get_profile
+from repro.nn.training import LocalTrainingConfig
+
+
+@dataclass
+class StrategySpec:
+    """One strategy entry of a plan.
+
+    ``label`` names the row in tables; ``method`` is the registry name built
+    with ``kwargs`` (defaults to the label).  A raw ``factory`` callable may
+    replace the registry lookup for ad-hoc strategies, at the cost of the
+    spec no longer serializing.
+    """
+
+    label: str
+    method: str | None = None
+    kwargs: dict = field(default_factory=dict)
+    factory: Callable[..., object] | None = None
+
+    def build(self):
+        if self.factory is not None:
+            return self.factory(**self.kwargs)
+        return build_strategy(self.method or self.label, **self.kwargs)
+
+    def to_dict(self) -> dict:
+        if self.factory is not None:
+            raise ValueError(
+                f"strategy '{self.label}' uses a raw factory and cannot be "
+                f"serialized; register it with @register_strategy instead")
+        return {"method": self.method or self.label, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_entry(cls, label: str, entry) -> "StrategySpec":
+        """Build from a plan-file entry: name, mapping, or callable."""
+        if isinstance(entry, StrategySpec):
+            return entry
+        if callable(entry):
+            return cls(label=label, factory=entry)
+        if isinstance(entry, str):
+            return cls(label=label, method=entry)
+        if isinstance(entry, Mapping):
+            method = entry.get("method", label)
+            kwargs = dict(entry.get("kwargs", {}))
+            return cls(label=label, method=method, kwargs=kwargs)
+        raise TypeError(f"cannot interpret strategy entry {entry!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (strategy, seed) grid point; ``index`` fixes the result order."""
+
+    index: int
+    spec: StrategySpec
+    seed: int
+
+
+@dataclass
+class ExperimentPlan:
+    """Declarative grid spec whose :meth:`run` produces a ComparisonResult."""
+
+    dataset: str
+    strategies: tuple[StrategySpec, ...]
+    seeds: tuple[int, ...] = (0,)
+    profile: str = "ci"
+    spec_override: DatasetSpec | None = None
+    settings_override: RunSettings | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.strategies = tuple(self.strategies)
+        self.seeds = tuple(int(s) for s in self.seeds)
+        if not self.strategies:
+            raise ValueError("plan needs at least one strategy")
+        if not self.seeds:
+            raise ValueError("plan needs at least one seed")
+        labels = [s.label for s in self.strategies]
+        dupes = {l for l in labels if labels.count(l) > 1}
+        if dupes:
+            raise ValueError(f"duplicate strategy labels: {sorted(dupes)}")
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def build(cls, dataset: str, strategies, seeds: Iterable[int] = (0,),
+              profile: str = "ci", spec_override: DatasetSpec | None = None,
+              settings_override: RunSettings | None = None,
+              name: str = "") -> "ExperimentPlan":
+        """Flexible constructor: strategies as names, mapping, or specs.
+
+        ``strategies`` may be an iterable of names/StrategySpecs or a mapping
+        ``label -> entry`` where the entry is a registry name, a
+        ``{"method": ..., "kwargs": {...}}`` mapping, or a factory callable.
+        """
+        specs: list[StrategySpec] = []
+        if isinstance(strategies, Mapping):
+            for label, entry in strategies.items():
+                specs.append(StrategySpec.from_entry(label, entry))
+        else:
+            for entry in strategies:
+                if isinstance(entry, StrategySpec):
+                    specs.append(entry)
+                elif isinstance(entry, str):
+                    specs.append(StrategySpec(label=entry, method=entry))
+                else:
+                    raise TypeError(
+                        f"strategy list entries must be names or StrategySpec, "
+                        f"got {entry!r}")
+        return cls(dataset=dataset, strategies=tuple(specs),
+                   seeds=tuple(seeds), profile=profile,
+                   spec_override=spec_override,
+                   settings_override=settings_override, name=name)
+
+    # -------------------------------------------------------------- execution
+
+    def cells(self) -> list[ExperimentCell]:
+        """The grid in execution order: strategy-major, then seed."""
+        out: list[ExperimentCell] = []
+        for spec in self.strategies:
+            for seed in self.seeds:
+                out.append(ExperimentCell(index=len(out), spec=spec, seed=seed))
+        return out
+
+    def resolve(self) -> tuple[DatasetSpec, RunSettings]:
+        """The (dataset spec, run settings) every cell executes under."""
+        if self.spec_override is not None and self.settings_override is not None:
+            return self.spec_override, self.settings_override
+        spec, settings = get_profile(self.profile, self.dataset)
+        if self.spec_override is not None:
+            spec = self.spec_override
+        if self.settings_override is not None:
+            settings = self.settings_override
+        return spec, settings
+
+    def run(self, executor=None, callbacks=()) -> ComparisonResult:
+        """Execute every cell and assemble the comparison result.
+
+        ``executor`` defaults to :class:`SerialExecutor`; pass
+        :class:`~repro.experiments.executors.ParallelExecutor` to fan the
+        grid out over processes.  ``callbacks`` are threaded into every
+        cell's runner (under a parallel executor they fire inside workers).
+        """
+        executor = executor if executor is not None else SerialExecutor()
+        cell_runs = executor.map(self, callbacks=tuple(callbacks))
+        result = ComparisonResult(dataset=self.dataset, profile=self.profile,
+                                  seeds=self.seeds)
+        per_label = len(self.seeds)
+        for i, spec in enumerate(self.strategies):
+            result.add_runs(spec.label,
+                            cell_runs[i * per_label:(i + 1) * per_label])
+        return result
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "dataset": self.dataset,
+            "profile": self.profile,
+            "seeds": list(self.seeds),
+            "strategies": {s.label: s.to_dict() for s in self.strategies},
+        }
+        if self.spec_override is not None:
+            out["spec_override"] = dataclasses.asdict(self.spec_override)
+        if self.settings_override is not None:
+            out["settings_override"] = dataclasses.asdict(self.settings_override)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentPlan":
+        try:
+            dataset = data["dataset"]
+            raw_strategies = data["strategies"]
+        except KeyError as exc:
+            raise ValueError(f"plan is missing required key {exc}") from None
+        if isinstance(raw_strategies, Mapping):
+            specs = [StrategySpec.from_entry(label, entry)
+                     for label, entry in raw_strategies.items()]
+        else:
+            specs = [StrategySpec.from_entry(nm, nm) for nm in raw_strategies]
+        spec_override = data.get("spec_override")
+        settings_override = data.get("settings_override")
+        return cls(
+            dataset=dataset,
+            strategies=tuple(specs),
+            seeds=tuple(data.get("seeds", (0,))),
+            profile=data.get("profile", "ci"),
+            spec_override=(_dataset_spec_from_dict(spec_override)
+                           if spec_override is not None else None),
+            settings_override=(_run_settings_from_dict(settings_override)
+                               if settings_override is not None else None),
+            name=data.get("name", ""),
+        )
+
+
+def _dataset_spec_from_dict(data: Mapping) -> DatasetSpec:
+    fields = {f.name for f in dataclasses.fields(DatasetSpec)}
+    kwargs = {k: v for k, v in data.items() if k in fields}
+    kwargs["window_regimes"] = tuple(
+        (str(c), int(s)) for c, s in kwargs.get("window_regimes", ()))
+    return DatasetSpec(**kwargs)
+
+
+def _run_settings_from_dict(data: Mapping) -> RunSettings:
+    data = dict(data)
+    round_config = dict(data.pop("round_config", {}))
+    local = LocalTrainingConfig(**round_config.pop("local", {}))
+    return RunSettings(round_config=RoundConfig(local=local, **round_config),
+                       **data)
+
+
+def save_plan(path: str | Path, plan: ExperimentPlan) -> Path:
+    """Write a plan as JSON (the canonical on-disk format)."""
+    path = Path(path)
+    path.write_text(json.dumps(plan.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_plan(path: str | Path) -> ExperimentPlan:
+    """Read a plan from ``.json`` or ``.toml`` (suffix decides the parser)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"plan file not found: {path}")
+    if path.suffix.lower() in (".toml", ".tml"):
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # stdlib from 3.11; package supports 3.10
+            raise ValueError(
+                f"reading TOML plans requires Python 3.11+ (tomllib); "
+                f"convert {path.name} to JSON or upgrade Python") from None
+        try:
+            data = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"{path} is not valid TOML: {exc}") from None
+    else:
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    return ExperimentPlan.from_dict(data)

@@ -107,3 +107,9 @@ class ContinualStrategy:
     def describe_state(self) -> dict:
         """Strategy-specific state summary (expert counts etc.)."""
         return {}
+
+    @classmethod
+    def describe(cls) -> str:
+        """One-line human description (docstring first line) for CLI listings."""
+        from repro.utils.validation import doc_first_line
+        return doc_first_line(cls, fallback=cls.name)

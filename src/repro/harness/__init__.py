@@ -8,6 +8,10 @@ Maps the paper's evaluation (Section 6/7) onto the simulator:
   life cycle and records accuracy series;
 * :mod:`~repro.harness.comparison` — multi-strategy, multi-seed comparisons
   plus renderers for Tables 1-2 and the series behind Figures 3-8.
+
+Grid composition (strategy registry, experiment plans, parallel executors,
+run-event callbacks) lives in :mod:`repro.experiments`; this package keeps
+the single-run driver and the paper-facing renderers.
 """
 
 from repro.harness.profiles import RunSettings, get_profile, profile_names
@@ -17,6 +21,7 @@ from repro.harness.comparison import (
     default_strategies,
     run_comparison,
     render_drop_time_max_table,
+    render_expert_distribution,
     convergence_series,
     max_accuracy_table,
     expert_distribution_table,
@@ -32,6 +37,7 @@ __all__ = [
     "default_strategies",
     "run_comparison",
     "render_drop_time_max_table",
+    "render_expert_distribution",
     "convergence_series",
     "max_accuracy_table",
     "expert_distribution_table",

@@ -1,54 +1,49 @@
-"""Multi-strategy, multi-seed comparisons and paper-style renderers."""
+"""Multi-strategy, multi-seed comparisons and paper-style renderers.
+
+The grid execution itself lives in :mod:`repro.experiments`; this module
+keeps the paper-facing surface: :data:`PAPER_METHODS` (table row order),
+:func:`run_comparison` as a thin shim over :class:`ExperimentPlan`, and the
+renderers for Tables 1-2 / Figures 3-8.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro.baselines import build_baseline
-from repro.core import ShiftExStrategy
+from repro.experiments.registry import build_strategy, strategy_names
+from repro.experiments.results import ComparisonResult
 from repro.federation.strategy import ContinualStrategy
-from repro.harness.profiles import get_profile
-from repro.harness.runner import StrategyRunResult, run_strategy
-from repro.metrics.aggregate import MetricAggregate, aggregate_summaries
 
 StrategyFactory = Callable[[], ContinualStrategy]
 
 # Display order used by the paper's tables.
 PAPER_METHODS = ("fedprox", "fielding", "oort", "shiftex", "feddrift")
 
+__all__ = [
+    "PAPER_METHODS",
+    "ComparisonResult",
+    "StrategyFactory",
+    "default_strategies",
+    "run_comparison",
+    "render_drop_time_max_table",
+    "convergence_series",
+    "max_accuracy_table",
+    "expert_distribution_table",
+    "render_expert_distribution",
+]
+
 
 def default_strategies(methods: tuple[str, ...] = PAPER_METHODS,
                        ) -> dict[str, StrategyFactory]:
-    """Factories for the paper's five compared techniques."""
-    factories: dict[str, StrategyFactory] = {}
-    for name in methods:
-        if name == "shiftex":
-            factories[name] = ShiftExStrategy
-        else:
-            factories[name] = (lambda n=name: build_baseline(n))
-    return factories
-
-
-@dataclass
-class ComparisonResult:
-    """All runs of one dataset comparison plus per-strategy aggregates."""
-
-    dataset: str
-    profile: str
-    seeds: tuple[int, ...]
-    runs: dict[str, list[StrategyRunResult]] = field(default_factory=dict)
-    aggregates: dict[str, list[MetricAggregate]] = field(default_factory=dict)
-
-    @property
-    def strategy_names(self) -> list[str]:
-        return list(self.runs)
-
-    def num_windows(self) -> int:
-        first = next(iter(self.runs.values()))[0]
-        return len(first.window_series)
+    """Factories for registered methods (default: the paper's five)."""
+    available = set(strategy_names())
+    unknown = [name for name in methods if name not in available]
+    if unknown:
+        raise KeyError(f"unknown strategies {unknown}; "
+                       f"available: {sorted(available)}")
+    return {name: (lambda n=name: build_strategy(n)) for name in methods}
 
 
 def run_comparison(dataset: str,
@@ -57,23 +52,25 @@ def run_comparison(dataset: str,
                    seeds: tuple[int, ...] = (0,),
                    settings_override=None,
                    spec_override=None) -> ComparisonResult:
-    """Run every strategy over every seed on one dataset."""
+    """Run every strategy over every seed on one dataset (serially).
+
+    Back-compat shim: builds an :class:`ExperimentPlan` and runs it with the
+    default :class:`SerialExecutor`.  New code should construct a plan
+    directly — that unlocks parallel execution and plan files.
+    """
+    # Imported here, not at module top: experiments.plan itself imports the
+    # harness package while it initializes.
+    from repro.experiments.plan import ExperimentPlan, StrategySpec
     if strategies is None:
-        strategies = default_strategies()
-    spec, settings = get_profile(profile, dataset)
-    if spec_override is not None:
-        spec = spec_override
-    if settings_override is not None:
-        settings = settings_override
-    result = ComparisonResult(dataset=dataset, profile=profile, seeds=tuple(seeds))
-    for name, factory in strategies.items():
-        runs = []
-        for seed in seeds:
-            strategy = factory()
-            runs.append(run_strategy(strategy, spec, settings, seed=seed))
-        result.runs[name] = runs
-        result.aggregates[name] = aggregate_summaries([r.summaries for r in runs])
-    return result
+        specs = [StrategySpec(label=n, method=n) for n in PAPER_METHODS]
+    else:
+        specs = [StrategySpec(label=name, factory=factory)
+                 for name, factory in strategies.items()]
+    plan = ExperimentPlan(dataset=dataset, strategies=tuple(specs),
+                          seeds=tuple(seeds), profile=profile,
+                          spec_override=spec_override,
+                          settings_override=settings_override)
+    return plan.run()
 
 
 # ---------------------------------------------------------------------- renderers
@@ -121,12 +118,22 @@ def max_accuracy_table(result: ComparisonResult) -> dict[str, list[tuple[float, 
 
 
 def expert_distribution_table(result: ComparisonResult,
-                              strategy: str = "shiftex") -> list[dict[int, int]]:
-    """Per-window expert -> party-count maps (Figures 7-8), first seed."""
+                              strategy: str = "shiftex",
+                              seed_index: int = 0) -> list[dict[int, int]]:
+    """Per-window expert -> party-count maps (Figures 7-8) for one run.
+
+    A comparison holds one run per seed; ``seed_index`` selects which run's
+    expert history to return (default: the first seed, matching the paper's
+    single-seed expert-dynamics figures).
+    """
     runs = result.runs.get(strategy)
     if not runs:
         raise KeyError(f"no runs recorded for strategy '{strategy}'")
-    history = runs[0].expert_history
+    if not 0 <= seed_index < len(runs):
+        raise IndexError(
+            f"seed_index {seed_index} out of range for {len(runs)} run(s) "
+            f"of strategy '{strategy}'")
+    history = runs[seed_index].expert_history
     if history is None:
         raise ValueError(f"strategy '{strategy}' does not track expert assignments")
     return history

@@ -1,13 +1,22 @@
-"""Drive one strategy through the continual-FL life cycle."""
+"""Drive one strategy through the continual-FL life cycle.
+
+Cross-cutting behavior (progress output, checkpoints, early stop) hooks in
+through :class:`~repro.experiments.events.RunCallback` objects passed as
+``callbacks`` — the runner fires ``on_run_start`` / ``on_round_end`` /
+``on_window_end`` / ``on_run_end`` and honors stop requests by truncating
+the remaining windows.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.data.federated import FederatedShiftDataset
 from repro.data.registry import DatasetSpec
+from repro.experiments.events import RunCallback, RunInfo, first_stop_reason
 from repro.federation.party import Party
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 from repro.harness.profiles import RunSettings
@@ -53,6 +62,7 @@ def _build_parties(spec: DatasetSpec, seed: int) -> dict[int, Party]:
 def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
                  settings: RunSettings, seed: int = 0,
                  dataset: FederatedShiftDataset | None = None,
+                 callbacks: Sequence[RunCallback] = (),
                  ) -> StrategyRunResult:
     """Run one strategy over every window of a dataset spec.
 
@@ -60,6 +70,10 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     (``start_window``), evaluate the post-shift entry accuracy, train for the
     window's rounds evaluating after each, then close the window.  Returns
     accuracy in percent.
+
+    ``callbacks`` observe the run (see :mod:`repro.experiments.events`); a
+    stop request ends the run after the window in which it was raised, with
+    ``extras["stopped_early"]`` recording the truncation.
     """
     ds = dataset if dataset is not None else FederatedShiftDataset(spec)
     parties = _build_parties(spec, seed)
@@ -93,6 +107,23 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     state_log: list[dict] = []
     expert_history: list[dict[int, int]] | None = None
 
+    info = RunInfo(
+        strategy_name=strategy.name,
+        dataset=spec.name,
+        seed=seed,
+        num_windows=spec.num_windows,
+        rounds_burn_in=settings.rounds_burn_in,
+        rounds_per_window=settings.rounds_per_window,
+    )
+    for cb in callbacks:
+        # A shared callback instance must not carry a stop request from a
+        # previous run into this one.
+        clear = getattr(cb, "clear_stop", None)
+        if callable(clear):
+            clear()
+        cb.on_run_start(info)
+
+    stop_reason: str | None = None
     for window in range(spec.num_windows):
         for pid in range(spec.num_parties):
             parties[pid].set_window_data(ds.party_window(pid, window))
@@ -100,7 +131,13 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         series = [mean_accuracy_pct()]
         for round_index in range(settings.rounds_for_window(window)):
             strategy.run_round(window, round_index)
-            series.append(mean_accuracy_pct())
+            accuracy = mean_accuracy_pct()
+            series.append(accuracy)
+            for cb in callbacks:
+                cb.on_round_end(info, window, round_index, accuracy)
+            stop_reason = first_stop_reason(callbacks)
+            if stop_reason is not None:
+                break
         strategy.end_window(window)
         window_series.append(series)
         state = strategy.describe_state()
@@ -109,16 +146,33 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
             if expert_history is None:
                 expert_history = []
             expert_history.append(dict(strategy.expert_distribution()))
+        for cb in callbacks:
+            cb.on_window_end(info, window, list(series), state)
         ds.evict_window(window)
+        if stop_reason is None:
+            stop_reason = first_stop_reason(callbacks)
+        if stop_reason is not None:
+            break
 
-    return StrategyRunResult(
+    result = StrategyRunResult(
         strategy_name=strategy.name,
         dataset=spec.name,
         seed=seed,
         window_series=window_series,
-        summaries=summarize_run(window_series),
+        # A stop during the burn-in window leaves nothing to summarize.
+        summaries=(summarize_run(window_series)
+                   if len(window_series) >= 2 else []),
         state_log=state_log,
         expert_history=expert_history,
         ledger_summary=ctx.ledger.summary(),
         profiler_summary=ctx.profiler.summary(),
     )
+    if stop_reason is not None:
+        result.extras.update(
+            stopped_early=True,
+            stop_reason=stop_reason,
+            completed_windows=len(window_series),
+        )
+    for cb in callbacks:
+        cb.on_run_end(info, result)
+    return result

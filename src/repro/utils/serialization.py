@@ -116,6 +116,19 @@ def load_expert_registry(path: str | Path):
         return registry
 
 
+def _jsonify(value):
+    """Recursively coerce numpy scalars/arrays into plain JSON values."""
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
 def run_result_to_dict(result) -> dict:
     """JSON-serializable view of a :class:`StrategyRunResult`."""
     return {
@@ -137,9 +150,50 @@ def run_result_to_dict(result) -> dict:
         "expert_history": ([{str(k): v for k, v in dist.items()}
                             for dist in result.expert_history]
                            if result.expert_history else None),
+        "state_log": _jsonify(result.state_log),
         "ledger": result.ledger_summary,
         "profiler": result.profiler_summary,
+        "extras": _jsonify(result.extras),
     }
+
+
+def dict_to_run_result(data: dict):
+    """Rebuild a :class:`StrategyRunResult` from :func:`run_result_to_dict`.
+
+    Round-trips exactly for ``window_series``, ``summaries``, ``extras``,
+    ``expert_history``, and the ledger/profiler summaries (JSON preserves
+    float bit patterns); ``state_log`` comes back JSON-normalized.
+    """
+    from repro.harness.runner import StrategyRunResult
+    from repro.metrics.windows import WindowSummary
+
+    summaries = [
+        WindowSummary(
+            window=s["window"],
+            accuracy_drop=s["accuracy_drop"],
+            recovery_rounds=s["recovery_rounds"],
+            max_accuracy=s["max_accuracy"],
+            pre_shift_accuracy=s["pre_shift_accuracy"],
+            rounds=s["rounds"],
+        )
+        for s in data["summaries"]
+    ]
+    expert_history = data.get("expert_history")
+    if expert_history is not None:
+        expert_history = [{int(k): v for k, v in dist.items()}
+                          for dist in expert_history]
+    return StrategyRunResult(
+        strategy_name=data["strategy"],
+        dataset=data["dataset"],
+        seed=data["seed"],
+        window_series=[list(s) for s in data["window_series"]],
+        summaries=summaries,
+        state_log=data.get("state_log", []),
+        expert_history=expert_history,
+        ledger_summary=data.get("ledger", {}),
+        profiler_summary=data.get("profiler", {}),
+        extras=data.get("extras", {}),
+    )
 
 
 def save_run_result(path: str | Path, result) -> Path:
@@ -150,3 +204,8 @@ def save_run_result(path: str | Path, result) -> Path:
 
 def load_run_result_dict(path: str | Path) -> dict:
     return json.loads(Path(path).read_text())
+
+
+def load_run_result(path: str | Path):
+    """Read a run result written by :func:`save_run_result`."""
+    return dict_to_run_result(load_run_result_dict(path))

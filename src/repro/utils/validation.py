@@ -48,3 +48,10 @@ def normalize_histogram(counts: np.ndarray) -> np.ndarray:
     if total == 0:
         return np.full(arr.size, 1.0 / arr.size)
     return arr / total
+
+
+def doc_first_line(obj, fallback: str = "") -> str:
+    """First line of an object's docstring, or ``fallback`` when absent."""
+    import inspect
+    doc = inspect.getdoc(obj) or ""
+    return doc.splitlines()[0] if doc else fallback

@@ -5,6 +5,8 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.experiments import ExperimentPlan, save_plan
+from tests.conftest import make_run_settings, make_tiny_spec
 
 
 class TestCli:
@@ -27,6 +29,57 @@ class TestCli:
     def test_compare_rejects_unknown_method(self, capsys):
         rc = main(["compare", "cifar10_c_sim", "--methods", "fedsgd"])
         assert rc == 2
+        err = capsys.readouterr().err
+        assert "fedsgd" in err and "available" in err
+
+    def test_methods_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fedavg", "fedprox", "oort", "fielding", "feddrift",
+                     "shiftex"):
+            assert name in out
+
+    def test_run_rejects_missing_plan(self, tmp_path, capsys):
+        rc = main(["run", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_run_rejects_invalid_plan(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["run", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_run_rejects_unregistered_method(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "dataset": "cifar10_c_sim",
+            "strategies": {"mystery": {"method": "mystery"}},
+        }))
+        assert main(["run", str(plan_path)]) == 2
+        assert "unregistered" in capsys.readouterr().err
+
+    def test_run_executes_tiny_plan(self, tmp_path, capsys):
+        spec = make_tiny_spec(name="unit_cli_plan", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              train=24, test=12, seed=73)
+        settings = make_run_settings(rounds_burn_in=2, rounds_per_window=2,
+                                     participants=3, epochs=1)
+        plan = ExperimentPlan.build("cifar10_c_sim", ["fedavg"], seeds=(0,),
+                                    spec_override=spec,
+                                    settings_override=settings,
+                                    name="unit-cli")
+        plan_path = save_plan(tmp_path / "tiny_plan.json", plan)
+        out_dir = tmp_path / "results"
+        rc = main(["run", str(plan_path), "--output-dir", str(out_dir),
+                   "--progress"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unit-cli" in out
+        assert "W1 Drop" in out
+        saved = json.loads(
+            (out_dir / "cifar10_c_sim_fedavg_seed0.json").read_text())
+        assert saved["strategy"] == "fedavg"
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

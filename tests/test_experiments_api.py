@@ -1,0 +1,364 @@
+"""Tests for the composable experiment API: registry, plans, executors, events."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import FedAvgStrategy
+from repro.experiments import (
+    EarlyStopper,
+    ExperimentPlan,
+    JsonCheckpointer,
+    ParallelExecutor,
+    ProgressLogger,
+    RunCallback,
+    SerialExecutor,
+    StrategySpec,
+    build_strategy,
+    is_registered,
+    load_plan,
+    register_strategy,
+    save_plan,
+    strategy_description,
+    strategy_names,
+    unregister_strategy,
+)
+from repro.harness import render_drop_time_max_table, run_strategy
+from repro.harness.comparison import PAPER_METHODS
+from tests.conftest import make_run_settings, make_tiny_spec
+
+
+# ------------------------------------------------------------------- registry
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = strategy_names()
+        for name in PAPER_METHODS + ("fedavg",):
+            assert name in names
+
+    def test_build_strategy_builds_instances(self):
+        assert build_strategy("fedavg").name == "fedavg"
+        assert build_strategy("shiftex").name == "shiftex"
+
+    def test_build_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            build_strategy("fedsgd")
+
+    def test_register_and_build_with_kwargs(self):
+        @register_strategy("unit-custom")
+        class CustomStrategy(FedAvgStrategy):
+            name = "unit-custom"
+
+            def __init__(self, knob: int = 1):
+                super().__init__()
+                self.knob = knob
+
+        try:
+            assert is_registered("unit-custom")
+            built = build_strategy("unit-custom", knob=7)
+            assert built.knob == 7
+        finally:
+            unregister_strategy("unit-custom")
+        assert not is_registered("unit-custom")
+
+    def test_duplicate_name_rejected(self):
+        @register_strategy("unit-dup")
+        def factory():
+            return FedAvgStrategy()
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_strategy("unit-dup")(lambda: FedAvgStrategy())
+            # overwrite=True replaces instead of raising
+            register_strategy("unit-dup", overwrite=True)(
+                lambda: FedAvgStrategy())
+        finally:
+            unregister_strategy("unit-dup")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(TypeError):
+            register_strategy("")
+        with pytest.raises(TypeError):
+            register_strategy(3)
+
+    def test_description_uses_docstring(self):
+        assert "mixture-of-experts" in strategy_description("shiftex")
+
+
+# ----------------------------------------------------------------------- plans
+
+class TestPlan:
+    def test_build_from_names_and_cell_order(self):
+        plan = ExperimentPlan.build("cifar10_c_sim", ["fedavg", "fedprox"],
+                                    seeds=(3, 5))
+        cells = plan.cells()
+        assert [(c.spec.label, c.seed) for c in cells] == [
+            ("fedavg", 3), ("fedavg", 5), ("fedprox", 3), ("fedprox", 5)]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+
+    def test_build_from_mapping_with_kwargs(self):
+        plan = ExperimentPlan.build(
+            "cifar10_c_sim",
+            {"prox": {"method": "fedprox"},
+             "avg": "fedavg"})
+        labels = {s.label: (s.method) for s in plan.strategies}
+        assert labels == {"prox": "fedprox", "avg": "fedavg"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one strategy"):
+            ExperimentPlan.build("cifar10_c_sim", [])
+        with pytest.raises(ValueError, match="at least one seed"):
+            ExperimentPlan.build("cifar10_c_sim", ["fedavg"], seeds=())
+        with pytest.raises(ValueError, match="duplicate"):
+            ExperimentPlan(dataset="cifar10_c_sim",
+                           strategies=(StrategySpec(label="a", method="fedavg"),
+                                       StrategySpec(label="a", method="fedprox")))
+
+    def test_dict_round_trip(self):
+        plan = ExperimentPlan.build(
+            "cifar10_c_sim",
+            {"avg": "fedavg",
+             "prox": {"method": "fedprox", "kwargs": {}}},
+            seeds=(0, 1), profile="small", name="rt")
+        restored = ExperimentPlan.from_dict(plan.to_dict())
+        assert restored.to_dict() == plan.to_dict()
+        assert restored.dataset == "cifar10_c_sim"
+        assert restored.profile == "small"
+        assert restored.seeds == (0, 1)
+
+    def test_overrides_round_trip(self):
+        spec = make_tiny_spec(name="unit_plan_rt", num_windows=2,
+                              window_regimes=(("fog", 3),))
+        settings = make_run_settings(rounds_burn_in=2, rounds_per_window=2)
+        plan = ExperimentPlan.build("unit_plan_rt", ["fedavg"],
+                                    spec_override=spec,
+                                    settings_override=settings)
+        restored = ExperimentPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict())))
+        r_spec, r_settings = restored.resolve()
+        assert r_spec == spec
+        assert r_settings == settings
+
+    def test_json_and_toml_files(self, tmp_path):
+        plan = ExperimentPlan.build("cifar10_c_sim", ["fedavg"], seeds=(0, 1),
+                                    name="files")
+        path = save_plan(tmp_path / "plan.json", plan)
+        assert load_plan(path).to_dict() == plan.to_dict()
+
+        toml_path = tmp_path / "plan.toml"
+        toml_path.write_text(
+            'name = "files"\n'
+            'dataset = "cifar10_c_sim"\n'
+            'profile = "ci"\n'
+            'seeds = [0, 1]\n'
+            '[strategies.fedavg]\n'
+            'method = "fedavg"\n')
+        assert load_plan(toml_path).to_dict() == plan.to_dict()
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_plan(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_plan(bad)
+        nokeys = tmp_path / "nokeys.json"
+        nokeys.write_text('{"dataset": "cifar10_c_sim"}')
+        with pytest.raises(ValueError, match="missing required key"):
+            load_plan(nokeys)
+
+    def test_factory_spec_does_not_serialize(self):
+        plan = ExperimentPlan.build("cifar10_c_sim",
+                                    {"adhoc": FedAvgStrategy})
+        assert plan.strategies[0].build().name == "fedavg"
+        with pytest.raises(ValueError, match="cannot be serialized"):
+            plan.to_dict()
+
+
+# ------------------------------------------------------------------- executors
+
+@pytest.fixture(scope="module")
+def tiny_plan():
+    spec = make_tiny_spec(name="unit_exec", num_parties=6, num_windows=2,
+                          window_regimes=(("fog", 4),),
+                          train=24, test=12, seed=59)
+    settings = make_run_settings(rounds_burn_in=2, rounds_per_window=2,
+                                 participants=3, epochs=1)
+    return ExperimentPlan.build("cifar10_c_sim", ["fedavg", "fedprox"],
+                                seeds=(0, 1), profile="ci",
+                                spec_override=spec,
+                                settings_override=settings)
+
+
+class TestExecutors:
+    def test_parallel_matches_serial_bitwise(self, tiny_plan):
+        serial = tiny_plan.run(executor=SerialExecutor())
+        parallel = tiny_plan.run(executor=ParallelExecutor(jobs=2))
+        assert render_drop_time_max_table(parallel) == \
+            render_drop_time_max_table(serial)
+        for label in serial.runs:
+            for s_run, p_run in zip(serial.runs[label], parallel.runs[label]):
+                assert s_run.flat_series == p_run.flat_series
+                assert s_run.summaries == p_run.summaries
+
+    def test_result_shape(self, tiny_plan):
+        result = tiny_plan.run()
+        assert result.strategy_names == ["fedavg", "fedprox"]
+        assert result.seeds == (0, 1)
+        assert result.num_windows() == 2
+        assert all(len(runs) == 2 for runs in result.runs.values())
+
+    def test_parallel_rejects_unpicklable(self, tiny_plan):
+        from repro.experiments.plan import StrategySpec
+        import dataclasses
+        bad = dataclasses.replace(
+            tiny_plan,
+            strategies=(StrategySpec(label="lam",
+                                     factory=lambda: FedAvgStrategy()),),
+            seeds=(0, 1))
+        with pytest.raises(ValueError, match="picklable"):
+            ParallelExecutor(jobs=2).map(bad)
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_empty_result_num_windows(self):
+        from repro.experiments import ComparisonResult
+        empty = ComparisonResult(dataset="d", profile="ci", seeds=(0,))
+        assert empty.num_windows() == 0
+
+
+# -------------------------------------------------------------------- events
+
+class RecordingCallback(RunCallback):
+    def __init__(self):
+        self.events = []
+
+    def on_run_start(self, info):
+        self.events.append(("run_start", info.strategy_name))
+
+    def on_round_end(self, info, window, round_index, accuracy):
+        self.events.append(("round_end", window, round_index))
+        assert 0.0 <= accuracy <= 100.0
+
+    def on_window_end(self, info, window, series, state):
+        self.events.append(("window_end", window, len(series)))
+
+    def on_run_end(self, info, result):
+        self.events.append(("run_end", len(result.window_series)))
+
+
+@pytest.fixture(scope="module")
+def tiny_env():
+    spec = make_tiny_spec(name="unit_events", num_parties=6, num_windows=2,
+                          window_regimes=(("fog", 4),),
+                          train=24, test=12, seed=61)
+    settings = make_run_settings(rounds_burn_in=2, rounds_per_window=2,
+                                 participants=3, epochs=1)
+    return spec, settings
+
+
+class TestCallbacks:
+    def test_firing_order(self, tiny_env):
+        spec, settings = tiny_env
+        cb = RecordingCallback()
+        run_strategy(FedAvgStrategy(), spec, settings, seed=0, callbacks=[cb])
+        assert cb.events == [
+            ("run_start", "fedavg"),
+            ("round_end", 0, 0), ("round_end", 0, 1), ("window_end", 0, 3),
+            ("round_end", 1, 0), ("round_end", 1, 1), ("window_end", 1, 3),
+            ("run_end", 2),
+        ]
+
+    def test_callbacks_do_not_change_results(self, tiny_env):
+        spec, settings = tiny_env
+        plain = run_strategy(FedAvgStrategy(), spec, settings, seed=4)
+        observed = run_strategy(FedAvgStrategy(), spec, settings, seed=4,
+                                callbacks=[RecordingCallback()])
+        assert np.allclose(plain.flat_series, observed.flat_series)
+        assert "stopped_early" not in observed.extras
+
+    def test_early_stop_truncates(self, tiny_env):
+        spec, settings = tiny_env
+        stopper = EarlyStopper(max_total_rounds=1)
+        result = run_strategy(FedAvgStrategy(), spec, settings, seed=0,
+                              callbacks=[stopper])
+        assert result.extras["stopped_early"] is True
+        assert "round budget" in result.extras["stop_reason"]
+        assert result.extras["completed_windows"] == 1
+        assert len(result.window_series) == 1
+        assert len(result.window_series[0]) == 2  # entry + 1 round
+
+    def test_early_stopper_needs_a_condition(self):
+        with pytest.raises(ValueError):
+            EarlyStopper()
+
+    def test_stop_state_resets_between_runs(self, tiny_env):
+        # A shared stopper instance must not leak its stop request from one
+        # cell into the next: both seeds should truncate at the same point.
+        spec, settings = tiny_env
+        plan = ExperimentPlan.build("cifar10_c_sim", ["fedavg"], seeds=(0, 1),
+                                    spec_override=spec,
+                                    settings_override=settings)
+        result = plan.run(callbacks=[EarlyStopper(max_total_rounds=3)])
+        runs = result.runs["fedavg"]
+        assert [r.extras["completed_windows"] for r in runs] == [2, 2]
+        assert all(len(r.window_series[-1]) == 2 for r in runs)  # entry + 1 round
+        assert len(result.aggregates["fedavg"]) == 1
+
+    def test_aggregates_cover_common_window_prefix(self):
+        from repro.experiments import ComparisonResult
+        from repro.harness.runner import StrategyRunResult
+        from repro.metrics.windows import WindowSummary
+
+        def fake_run(seed, n_summaries):
+            summaries = [WindowSummary(window=w + 1, accuracy_drop=1.0,
+                                       recovery_rounds=1, max_accuracy=50.0,
+                                       pre_shift_accuracy=50.0, rounds=2)
+                         for w in range(n_summaries)]
+            return StrategyRunResult(
+                strategy_name="fake", dataset="d", seed=seed,
+                window_series=[[1.0]] * (n_summaries + 1),
+                summaries=summaries, state_log=[], expert_history=None,
+                ledger_summary={}, profiler_summary={})
+
+        result = ComparisonResult(dataset="d", profile="ci", seeds=(0, 1))
+        result.add_runs("fake", [fake_run(0, 3), fake_run(1, 1)])
+        assert len(result.aggregates["fake"]) == 1
+        result.add_runs("empty", [fake_run(0, 0), fake_run(1, 2)])
+        assert result.aggregates["empty"] == []
+
+    def test_progress_logger_emits(self, tiny_env):
+        spec, settings = tiny_env
+        lines = []
+        run_strategy(FedAvgStrategy(), spec, settings, seed=0,
+                     callbacks=[ProgressLogger(emit=lines.append)])
+        assert any("starting" in l for l in lines)
+        assert any("W1" in l for l in lines)
+        assert any("done" in l for l in lines)
+
+    def test_json_checkpointer(self, tiny_env, tmp_path):
+        spec, settings = tiny_env
+        result = run_strategy(FedAvgStrategy(), spec, settings, seed=0,
+                              callbacks=[JsonCheckpointer(tmp_path)])
+        final = tmp_path / f"{spec.name}_fedavg_seed0.json"
+        assert final.exists()
+        assert not (tmp_path / f"{spec.name}_fedavg_seed0.partial.json").exists()
+        saved = json.loads(final.read_text())
+        assert saved["window_series"] == result.window_series
+
+    def test_callbacks_through_plan_run(self):
+        spec = make_tiny_spec(name="unit_plan_events", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              train=24, test=12, seed=67)
+        settings = make_run_settings(rounds_burn_in=2, rounds_per_window=2,
+                                     participants=3, epochs=1)
+        plan = ExperimentPlan.build("cifar10_c_sim", ["fedavg"], seeds=(0,),
+                                    spec_override=spec,
+                                    settings_override=settings)
+        cb = RecordingCallback()
+        plan.run(callbacks=[cb])
+        assert cb.events[0] == ("run_start", "fedavg")
+        assert cb.events[-1] == ("run_end", 2)
