@@ -112,7 +112,7 @@ def cmd_compare(args) -> int:
     callbacks = (ProgressLogger(),) if args.progress else ()
     try:
         plan = ExperimentPlan.build(args.dataset, methods, seeds=seeds,
-                                    profile=args.profile)
+                                    profile=args.profile, dtype=args.dtype)
         result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
     except (ValueError, KeyError) as exc:
         print(str(exc).strip("'\""), file=sys.stderr)
@@ -182,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="registered methods to run (see the 'methods' "
                                 f"command; default: {PAPER_METHODS})")
     p_compare.add_argument("--seeds", nargs="*", type=int, default=[0])
+    p_compare.add_argument("--dtype", default=None,
+                           choices=("float32", "float64"),
+                           help="model precision (default: the profile's, "
+                                "float64; float32 is ~2x faster)")
     p_compare.add_argument("--jobs", type=int, default=1,
                            help="run the strategy x seed grid over N processes")
     p_compare.add_argument("--progress", action="store_true",

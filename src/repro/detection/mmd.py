@@ -120,6 +120,94 @@ def class_conditional_mmd(x: np.ndarray, x_labels: np.ndarray,
     return float(total / weight)
 
 
+def mmd_to_many(x: np.ndarray, ys: list[np.ndarray],
+                gamma: float | None = None) -> np.ndarray:
+    """Biased MMD of ``x`` against each sample set in ``ys``, batched.
+
+    The expensive ``x``-side kernel block is computed once and the cross
+    blocks against every ``y`` come from one stacked matmul, so scoring one
+    cluster against ``k`` expert memories costs a single pass over ``x``
+    instead of ``k`` (the per-expert loop this replaces).  Matches
+    ``[mmd(x, y, gamma) for y in ys]`` to floating-point noise.
+
+    With ``gamma=None`` each pair needs its own median-heuristic bandwidth,
+    so the per-pair estimator runs instead.
+    """
+    x = check_2d(x, "x")
+    ys = [check_2d(y, "y") for y in ys]
+    if not ys:
+        return np.zeros(0)
+    if gamma is None:
+        return np.array([mmd(x, y, None) for y in ys])
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    kxx_mean = np.exp(-gamma * _pairwise_sq_dists(x, x)).mean()
+    stacked = np.vstack(ys)
+    kxy = np.exp(-gamma * _pairwise_sq_dists(x, stacked))
+    out = np.empty(len(ys))
+    offset = 0
+    for i, y in enumerate(ys):
+        kyy_mean = np.exp(-gamma * _pairwise_sq_dists(y, y)).mean()
+        kxy_mean = kxy[:, offset:offset + y.shape[0]].mean()
+        offset += y.shape[0]
+        out[i] = np.sqrt(max(kxx_mean + kyy_mean - 2.0 * kxy_mean, 0.0))
+    return out
+
+
+def class_conditional_mmd_to_many(x: np.ndarray, x_labels: np.ndarray,
+                                  ys: list[np.ndarray],
+                                  ys_labels: list[np.ndarray],
+                                  gamma: float | None = None,
+                                  min_per_class: int = 2) -> np.ndarray:
+    """Batched :func:`class_conditional_mmd` of ``x`` against many sets.
+
+    Stratifies once per class and scores all eligible ``y`` sets together via
+    :func:`mmd_to_many`, sharing the ``x``-side kernel work across sets.
+    Sets with no sufficiently populated shared class fall back to
+    unconditional MMD, exactly like the per-pair estimator.
+    """
+    x = check_2d(x, "x")
+    x_labels = np.asarray(x_labels)
+    if x_labels.shape != (x.shape[0],):
+        raise ValueError("labels must align with embedding rows")
+    ys = [check_2d(y, "y") for y in ys]
+    ys_labels = [np.asarray(yl) for yl in ys_labels]
+    if len(ys) != len(ys_labels):
+        raise ValueError("ys and ys_labels must align")
+    for y, yl in zip(ys, ys_labels):
+        if yl.shape != (y.shape[0],):
+            raise ValueError("labels must align with embedding rows")
+    if not ys:
+        return np.zeros(0)
+    if gamma is None:
+        return np.array([
+            class_conditional_mmd(x, x_labels, y, yl, None, min_per_class)
+            for y, yl in zip(ys, ys_labels)
+        ])
+    totals = np.zeros(len(ys))
+    weights = np.zeros(len(ys), dtype=int)
+    for c in np.unique(x_labels):
+        a = x[x_labels == c]
+        if a.shape[0] < min_per_class:
+            continue
+        members = [(i, ys[i][ys_labels[i] == c]) for i in range(len(ys))]
+        members = [(i, b) for i, b in members if b.shape[0] >= min_per_class]
+        if not members:
+            continue
+        vals = mmd_to_many(a, [b for _i, b in members], gamma)
+        for (i, b), val in zip(members, vals):
+            n = min(a.shape[0], b.shape[0])
+            totals[i] += val * n
+            weights[i] += n
+    out = np.empty(len(ys))
+    conditioned = weights > 0
+    out[conditioned] = totals[conditioned] / weights[conditioned]
+    fallback = [i for i in range(len(ys)) if not conditioned[i]]
+    if fallback:
+        out[fallback] = mmd_to_many(x, [ys[i] for i in fallback], gamma)
+    return out
+
+
 def linear_time_mmd2(x: np.ndarray, y: np.ndarray, gamma: float | None = None) -> float:
     """Linear-time MMD^2 estimator (Gretton et al., 2012, Lemma 14).
 

@@ -84,7 +84,12 @@ class ExperimentCell:
 
 @dataclass
 class ExperimentPlan:
-    """Declarative grid spec whose :meth:`run` produces a ComparisonResult."""
+    """Declarative grid spec whose :meth:`run` produces a ComparisonResult.
+
+    ``dtype`` declares the run's model precision (``"float32"`` /
+    ``"float64"``) on top of whatever the profile settings say — precision
+    is part of the experiment spec and serializes with the plan.
+    """
 
     dataset: str
     strategies: tuple[StrategySpec, ...]
@@ -93,6 +98,7 @@ class ExperimentPlan:
     spec_override: DatasetSpec | None = None
     settings_override: RunSettings | None = None
     name: str = ""
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
         self.strategies = tuple(self.strategies)
@@ -101,6 +107,9 @@ class ExperimentPlan:
             raise ValueError("plan needs at least one strategy")
         if not self.seeds:
             raise ValueError("plan needs at least one seed")
+        if self.dtype is not None:
+            from repro.utils.params import resolve_dtype
+            self.dtype = str(resolve_dtype(self.dtype))
         labels = [s.label for s in self.strategies]
         dupes = {l for l in labels if labels.count(l) > 1}
         if dupes:
@@ -112,7 +121,7 @@ class ExperimentPlan:
     def build(cls, dataset: str, strategies, seeds: Iterable[int] = (0,),
               profile: str = "ci", spec_override: DatasetSpec | None = None,
               settings_override: RunSettings | None = None,
-              name: str = "") -> "ExperimentPlan":
+              name: str = "", dtype: str | None = None) -> "ExperimentPlan":
         """Flexible constructor: strategies as names, mapping, or specs.
 
         ``strategies`` may be an iterable of names/StrategySpecs or a mapping
@@ -136,7 +145,8 @@ class ExperimentPlan:
         return cls(dataset=dataset, strategies=tuple(specs),
                    seeds=tuple(seeds), profile=profile,
                    spec_override=spec_override,
-                   settings_override=settings_override, name=name)
+                   settings_override=settings_override, name=name,
+                   dtype=dtype)
 
     # -------------------------------------------------------------- execution
 
@@ -151,12 +161,15 @@ class ExperimentPlan:
     def resolve(self) -> tuple[DatasetSpec, RunSettings]:
         """The (dataset spec, run settings) every cell executes under."""
         if self.spec_override is not None and self.settings_override is not None:
-            return self.spec_override, self.settings_override
-        spec, settings = get_profile(self.profile, self.dataset)
-        if self.spec_override is not None:
-            spec = self.spec_override
-        if self.settings_override is not None:
-            settings = self.settings_override
+            spec, settings = self.spec_override, self.settings_override
+        else:
+            spec, settings = get_profile(self.profile, self.dataset)
+            if self.spec_override is not None:
+                spec = self.spec_override
+            if self.settings_override is not None:
+                settings = self.settings_override
+        if self.dtype is not None and settings.dtype != self.dtype:
+            settings = dataclasses.replace(settings, dtype=self.dtype)
         return spec, settings
 
     def run(self, executor=None, callbacks=()) -> ComparisonResult:
@@ -187,6 +200,8 @@ class ExperimentPlan:
             "seeds": list(self.seeds),
             "strategies": {s.label: s.to_dict() for s in self.strategies},
         }
+        if self.dtype is not None:
+            out["dtype"] = self.dtype
         if self.spec_override is not None:
             out["spec_override"] = dataclasses.asdict(self.spec_override)
         if self.settings_override is not None:
@@ -217,6 +232,7 @@ class ExperimentPlan:
             settings_override=(_run_settings_from_dict(settings_override)
                                if settings_override is not None else None),
             name=data.get("name", ""),
+            dtype=data.get("dtype"),
         )
 
 

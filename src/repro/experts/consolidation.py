@@ -9,6 +9,12 @@ globally aligned for a while, and a just-cloned expert is exactly identical
 to its source — so untrained experts are never merge candidates, and the
 regime check keeps genuinely specialized experts apart.
 
+The full pairwise cosine-similarity matrix comes from one normalized matmul
+over the registry's stacked parameter matrix
+(:func:`repro.utils.params.cosine_similarity_matrix`); only candidate pairs
+already above ``tau`` pay for the memory-MMD regime check, scanned in
+descending-similarity order so the first qualifying pair is the best one.
+
 Merging averages parameters weighted by training samples seen, blends the
 latent memories, and remaps affected parties.
 """
@@ -22,7 +28,7 @@ import numpy as np
 from repro.detection.mmd import class_conditional_mmd
 from repro.experts.memory import LatentMemory
 from repro.experts.registry import Expert, ExpertRegistry
-from repro.utils.params import params_cosine_similarity, weighted_average
+from repro.utils.params import cosine_similarity_matrix, weighted_average
 
 
 @dataclass(frozen=True)
@@ -41,9 +47,14 @@ def _merge_pair(registry: ExpertRegistry, a: Expert, b: Expert, window: int,
     merged_params = weighted_average([a.params, b.params], [weight_a, weight_b])
     share_a = weight_a / (weight_a + weight_b)
     merged_memory: LatentMemory = a.memory.merged_with(b.memory, share_a, rng)
+    # Build the merged expert directly on a pool-bank row: one copy of the
+    # averaged vector instead of private-bank-then-adopt.
+    bank, row = registry.alloc_pool_row(merged_params)
     merged = Expert(
         expert_id=registry.allocate_id(),
-        params=merged_params,
+        params=None,
+        bank=bank,
+        row=row,
         memory=merged_memory,
         created_window=min(a.created_window, b.created_window),
         updated_window=window,
@@ -59,23 +70,40 @@ def _merge_pair(registry: ExpertRegistry, a: Expert, b: Expert, window: int,
     )
 
 
-def _mergeable(a: Expert, b: Expert, tau: float,
-               memory_epsilon: float | None,
-               gamma: float | None) -> float | None:
-    """Return the similarity when the pair qualifies for merging, else None."""
-    if a.train_rounds == 0 or b.train_rounds == 0:
-        return None
-    sim = params_cosine_similarity(a.params, b.params)
-    if sim <= tau:
-        return None
-    if memory_epsilon is not None and not a.memory.is_empty and not b.memory.is_empty:
-        regime_distance = class_conditional_mmd(
-            a.memory.signature, a.memory.signature_labels,
-            b.memory.signature, b.memory.signature_labels, gamma,
-        )
-        if regime_distance > memory_epsilon:
-            return None
-    return sim
+def _regimes_agree(a: Expert, b: Expert, memory_epsilon: float | None,
+                   gamma: float | None) -> bool:
+    """The latent-memory gate: both memories describe one covariate regime."""
+    if memory_epsilon is None or a.memory.is_empty or b.memory.is_empty:
+        return True
+    regime_distance = class_conditional_mmd(
+        a.memory.signature, a.memory.signature_labels,
+        b.memory.signature, b.memory.signature_labels, gamma,
+    )
+    return regime_distance <= memory_epsilon
+
+
+def _best_mergeable_pair(experts: list[Expert], tau: float,
+                         memory_epsilon: float | None, gamma: float | None,
+                         ) -> tuple[Expert, Expert, float] | None:
+    """Highest-similarity pair above ``tau`` that passes the regime gate.
+
+    Similarities for all pairs come from a single normalized matmul; the
+    (expensive) memory check runs only on candidates above ``tau``, best
+    first, so the first pass that succeeds is the answer.
+    """
+    sims = cosine_similarity_matrix(
+        np.stack([np.asarray(e.flat, dtype=np.float64) for e in experts]))
+    iu, ju = np.triu_indices(len(experts), k=1)
+    pair_sims = sims[iu, ju]
+    # Stable descending order keeps the legacy tie-break: first (i, j) wins.
+    for idx in np.argsort(-pair_sims, kind="stable"):
+        sim = float(pair_sims[idx])
+        if sim <= tau:
+            break
+        a, b = experts[int(iu[idx])], experts[int(ju[idx])]
+        if _regimes_agree(a, b, memory_epsilon, gamma):
+            return a, b, sim
+    return None
 
 
 def consolidate_experts(registry: ExpertRegistry, tau: float, window: int,
@@ -95,19 +123,13 @@ def consolidate_experts(registry: ExpertRegistry, tau: float, window: int,
         raise ValueError("tau must be a valid cosine similarity bound")
     events: list[ConsolidationEvent] = []
     while len(registry) >= 2:
-        experts = registry.all()
-        best_pair: tuple[Expert, Expert] | None = None
-        best_sim = tau
-        for i in range(len(experts)):
-            for j in range(i + 1, len(experts)):
-                sim = _mergeable(experts[i], experts[j], tau, memory_epsilon, gamma)
-                if sim is not None and sim > best_sim:
-                    best_sim = sim
-                    best_pair = (experts[i], experts[j])
-        if best_pair is None:
+        experts = [e for e in registry.all() if e.train_rounds > 0]
+        if len(experts) < 2:
             break
-        event = _merge_pair(registry, best_pair[0], best_pair[1], window,
-                            best_sim, rng)
+        best = _best_mergeable_pair(experts, tau, memory_epsilon, gamma)
+        if best is None:
+            break
+        event = _merge_pair(registry, best[0], best[1], window, best[2], rng)
         events.append(event)
         if assignments is not None:
             for party, expert_id in list(assignments.items()):

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.detection.mmd import class_conditional_mmd, mmd
+from repro.detection.mmd import class_conditional_mmd_to_many, mmd_to_many
 from repro.experts.registry import Expert, ExpertRegistry
 from repro.utils.validation import check_2d
 
@@ -67,21 +67,28 @@ def match_cluster_to_expert(cluster_embeddings: np.ndarray,
         cluster_embeddings = cluster_embeddings[idx]
         if cluster_labels is not None:
             cluster_labels = cluster_labels[idx]
+    eligible = [
+        expert for expert in registry.all()
+        if not (exclude and expert.expert_id in exclude)
+        and not expert.memory.is_empty
+    ]
+    # One batched evaluation over all expert memories: the cluster-side
+    # kernel blocks are computed once and the cross blocks come from a
+    # single stacked matmul, instead of a per-expert Python loop.
+    if cluster_labels is not None:
+        score_values = class_conditional_mmd_to_many(
+            cluster_embeddings, cluster_labels,
+            [e.memory.signature for e in eligible],
+            [e.memory.signature_labels for e in eligible], gamma,
+        )
+    else:
+        score_values = mmd_to_many(
+            cluster_embeddings, [e.memory.signature for e in eligible], gamma)
     scores: dict[int, float] = {}
     best_id: int | None = None
     best_score = float("inf")
-    for expert in registry.all():
-        if exclude and expert.expert_id in exclude:
-            continue
-        if expert.memory.is_empty:
-            continue
-        if cluster_labels is not None:
-            score = class_conditional_mmd(
-                cluster_embeddings, cluster_labels,
-                expert.memory.signature, expert.memory.signature_labels, gamma,
-            )
-        else:
-            score = mmd(cluster_embeddings, expert.memory.signature, gamma)
+    for expert, score in zip(eligible, score_values):
+        score = float(score)
         scores[expert.expert_id] = score
         if score < best_score:
             best_score = score

@@ -1,4 +1,10 @@
-"""Aggregation rules."""
+"""Aggregation rules.
+
+FedAvg runs as one ``w @ M`` matrix-vector product over the stacked
+flattened updates (see :func:`repro.utils.params.weighted_average`) instead
+of a Python loop over parameter lists, so per-round cost is a single BLAS
+call regardless of how many tensors a model has.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +16,9 @@ def fedavg(updates: list[LocalUpdate]) -> Params:
     """Sample-count-weighted parameter average (McMahan et al., 2017).
 
     The single aggregation rule both FedAvg and FedProx use server-side
-    (FedProx differs only in the local objective).
+    (FedProx differs only in the local objective).  Updates whose parameter
+    shapes disagree raise a ``ValueError`` naming the offending party and
+    both shape tuples.
     """
     if not updates:
         raise ValueError("fedavg requires at least one update")
@@ -20,4 +28,5 @@ def fedavg(updates: list[LocalUpdate]) -> Params:
     return weighted_average(
         [u.params for u in usable],
         [float(u.num_samples) for u in usable],
+        names=[f"party {u.party_id}" for u in usable],
     )

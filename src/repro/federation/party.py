@@ -72,13 +72,21 @@ class Party:
     # ------------------------------------------------------------------ protocol ops
 
     def local_train(self, params: Params, config: LocalTrainingConfig,
-                    round_tag: object = 0) -> LocalUpdate:
-        """Train a local replica initialized at ``params`` on this window."""
+                    round_tag: object = 0,
+                    out_flat: np.ndarray | None = None) -> LocalUpdate:
+        """Train a local replica initialized at ``params`` on this window.
+
+        ``out_flat`` (optionally a :class:`~repro.utils.params.ParamBank`
+        row) receives the flat trained parameters; the update's ``params``
+        are then zero-copy views of it, so the aggregator can stack cohort
+        updates without re-flattening.
+        """
         self._model.set_params(params)
         rng = spawn_rng(self.seed, "party-train", self.party_id, round_tag)
         result = train_local(
             self._model, self.data.x_train, self.data.y_train, config, rng,
             global_params=params if config.prox_mu > 0 else None,
+            out_flat=out_flat,
         )
         return LocalUpdate(
             party_id=self.party_id,
@@ -87,14 +95,22 @@ class Party:
             mean_loss=result.mean_loss,
         )
 
-    def evaluate(self, params: Params, split: str = "test") -> tuple[float, float]:
-        """(accuracy, loss) of ``params`` on this party's local split."""
+    def evaluate(self, params: Params, split: str = "test",
+                 return_features: bool = False):
+        """(accuracy, loss) of ``params`` on this party's local split.
+
+        ``return_features`` adds the penultimate-layer embeddings of the
+        split as a third element, from the same single forward pass — the
+        cheap path when a caller needs both metrics and representations.
+        """
         self._model.set_params(params)
         if split == "test":
-            return evaluate(self._model, self.data.x_test, self.data.y_test)
-        if split == "train":
-            return evaluate(self._model, self.data.x_train, self.data.y_train)
-        raise ValueError("split must be 'test' or 'train'")
+            x, y = self.data.x_test, self.data.y_test
+        elif split == "train":
+            x, y = self.data.x_train, self.data.y_train
+        else:
+            raise ValueError("split must be 'test' or 'train'")
+        return evaluate(self._model, x, y, return_features=return_features)
 
     def loss_on(self, params: Params, split: str = "train") -> float:
         """Local loss of a model — the signal FedDrift clusters on."""

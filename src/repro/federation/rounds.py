@@ -1,4 +1,11 @@
-"""One federated round: select -> broadcast -> local train -> aggregate."""
+"""One federated round: select -> broadcast -> local train -> aggregate.
+
+Cohort updates land directly in a round-local
+:class:`~repro.utils.params.ParamBank` — each party writes its trained flat
+vector into one bank row — so FedAvg is a single weighted ``w @ M``
+matrix-vector product over the stacked updates, with no per-update
+re-flattening or Python-level accumulation loops.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +13,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.federation.aggregation import fedavg
 from repro.federation.party import Party
 from repro.nn.training import LocalTrainingConfig
-from repro.utils.params import Params
+from repro.utils.params import ParamBank, ParamSpec, Params
 
 
 @dataclass
@@ -44,12 +50,27 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
     """
     if not participant_ids:
         raise ValueError("cannot run a round with no participants")
+    spec = ParamSpec.of(params)
+    dtype = np.result_type(*(p.dtype for p in params)) if params else np.float64
+    bank = ParamBank(spec, dtype=dtype, capacity=len(participant_ids))
+    rows: list[int] = []
     updates = []
     for party_id in participant_ids:
         if party_id not in parties:
             raise KeyError(f"unknown party id {party_id}")
-        updates.append(parties[party_id].local_train(params, config.local, round_tag))
-    new_params = fedavg(updates)
+        row = bank.alloc()
+        rows.append(row)
+        updates.append(parties[party_id].local_train(
+            params, config.local, round_tag, out_flat=bank.row(row)))
+    weights = np.array([float(u.num_samples) for u in updates])
+    usable = weights > 0
+    if not usable.any():
+        raise ValueError(
+            f"aggregation failed in round {round_tag!r}: all updates carry "
+            "zero samples"
+        )
+    new_params = spec.view(bank.weighted_combine(
+        weights[usable], [r for r, ok in zip(rows, usable) if ok]))
     losses = [u.mean_loss for u in updates if np.isfinite(u.mean_loss)]
     stats = RoundStats(
         participants=list(participant_ids),

@@ -4,27 +4,44 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.data.registry import DatasetSpec, get_dataset_spec
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
+from repro.utils.params import resolve_dtype
 
 _PROFILE_NAMES = ("ci", "small", "paper")
 
 
 @dataclass
 class RunSettings:
-    """How many rounds/participants a run uses and how it evaluates."""
+    """How many rounds/participants a run uses and how it evaluates.
+
+    ``dtype`` is the model parameter/activation precision every party and
+    expert uses for the run.  ``"float32"`` halves memory and roughly
+    doubles BLAS throughput; the default stays ``"float64"`` because the
+    seed reproduction's calibrated detection thresholds were tuned at full
+    precision (flip it per run/plan via the declarative knob once thresholds
+    are recalibrated).
+    """
 
     rounds_burn_in: int = 6
     rounds_per_window: int = 6
     round_config: RoundConfig = field(default_factory=RoundConfig)
     eval_parties: int | None = None  # None = evaluate every party
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.rounds_burn_in <= 0 or self.rounds_per_window <= 0:
             raise ValueError("round counts must be positive")
         if self.eval_parties is not None and self.eval_parties <= 0:
             raise ValueError("eval_parties must be positive when given")
+        self.dtype = str(resolve_dtype(self.dtype))
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return resolve_dtype(self.dtype)
 
     def rounds_for_window(self, window: int) -> int:
         return self.rounds_burn_in if window == 0 else self.rounds_per_window

@@ -50,11 +50,11 @@ class StrategyRunResult:
         return [max(series) for series in self.window_series]
 
 
-def _build_parties(spec: DatasetSpec, seed: int) -> dict[int, Party]:
+def _build_parties(spec: DatasetSpec, seed: int, dtype=None) -> dict[int, Party]:
     parties: dict[int, Party] = {}
     for pid in range(spec.num_parties):
         model = build_model(spec.model_name, spec.input_shape, spec.num_classes,
-                            spawn_rng(seed, "party-model", pid))
+                            spawn_rng(seed, "party-model", pid), dtype=dtype)
         parties[pid] = Party(pid, model, spec.num_classes, seed=seed)
     return parties
 
@@ -76,11 +76,12 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     ``extras["stopped_early"]`` recording the truncation.
     """
     ds = dataset if dataset is not None else FederatedShiftDataset(spec)
-    parties = _build_parties(spec, seed)
+    dtype = settings.np_dtype
+    parties = _build_parties(spec, seed, dtype=dtype)
 
     def model_factory():
         return build_model(spec.model_name, spec.input_shape, spec.num_classes,
-                           spawn_rng(seed, "global-model-init"))
+                           spawn_rng(seed, "global-model-init"), dtype=dtype)
 
     ctx = StrategyContext(
         spec=spec,

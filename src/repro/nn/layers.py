@@ -28,6 +28,23 @@ class Layer:
         for g in self.grads:
             g.fill(0.0)
 
+    def param_owners(self) -> list["Layer"]:
+        """The layers whose ``params``/``grads`` lists own this layer's arrays.
+
+        ``Sequential`` rebinds those list entries to slices of one contiguous
+        flat buffer; composite layers (e.g. residual blocks) override this to
+        expose their sublayers in ``params`` order.
+        """
+        return [self]
+
+    def to_dtype(self, dtype: np.dtype) -> None:
+        """Cast non-parameter state (e.g. running statistics) to ``dtype``.
+
+        Parameters and gradients are cast by ``Sequential`` when it binds
+        them to its flat storage; layers carrying extra float state override
+        this so a model is dtype-pure end to end.
+        """
+
     def output_note(self) -> str:
         """Short human-readable description used in ``Sequential.describe``."""
         return type(self).__name__
@@ -155,7 +172,8 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask.astype(x.dtype, copy=False)
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -214,12 +232,18 @@ class BatchNorm(Layer):
             n * dxhat - dxhat.sum(axis=0) - x_hat * (dxhat * x_hat).sum(axis=0)
         )
 
+    def to_dtype(self, dtype: np.dtype) -> None:
+        self.running_mean = self.running_mean.astype(dtype, copy=False)
+        self.running_var = self.running_var.astype(dtype, copy=False)
+
     def extra_state(self) -> dict[str, np.ndarray]:
         return {"running_mean": self.running_mean.copy(), "running_var": self.running_var.copy()}
 
     def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
-        self.running_mean = state["running_mean"].copy()
-        self.running_var = state["running_var"].copy()
+        # Preserve the model's precision when restoring checkpointed state.
+        dtype = self.running_mean.dtype
+        self.running_mean = state["running_mean"].astype(dtype)
+        self.running_var = state["running_var"].astype(dtype)
 
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> tuple[np.ndarray, int, int]:
@@ -250,7 +274,7 @@ def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
             out_h: int, out_w: int) -> np.ndarray:
     """Scatter-add column gradients back to the (padded) input."""
     n, c, h, w = x_shape
-    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
     cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
     for i in range(kh):
         for j in range(kw):

@@ -25,7 +25,9 @@ def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float
     (loss, grad) where ``grad`` has shape (n, k) and already includes the
     1/n factor, so it can be fed directly into ``Sequential.backward``.
     """
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = np.asarray(logits)
+    in_dtype = logits.dtype if logits.dtype.kind == "f" else np.dtype(np.float64)
+    logits = logits.astype(np.float64, copy=False)
     labels = np.asarray(labels)
     if logits.ndim != 2:
         raise ValueError(f"logits must be 2-D; got {logits.shape}")
@@ -40,4 +42,6 @@ def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float
     grad = probs.copy()
     grad[np.arange(n), labels] -= 1.0
     grad /= n
-    return loss, grad
+    # The loss is computed in float64 for stability, but the gradient enters
+    # backprop and must match the model's activation precision.
+    return loss, grad.astype(in_dtype, copy=False)

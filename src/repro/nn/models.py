@@ -43,7 +43,8 @@ def _flat_dim(input_shape: tuple[int, ...]) -> int:
 
 
 def build_mlp(input_shape: tuple[int, ...], num_classes: int, rng: np.random.Generator,
-              hidden: tuple[int, ...] = (64, 32), dropout: float = 0.0) -> Sequential:
+              hidden: tuple[int, ...] = (64, 32), dropout: float = 0.0,
+              dtype=None) -> Sequential:
     """Dense classifier; features = activations of the last hidden layer."""
     layers: list = [Standardize()]
     if len(input_shape) > 1:
@@ -56,11 +57,12 @@ def build_mlp(input_shape: tuple[int, ...], num_classes: int, rng: np.random.Gen
             layers.append(Dropout(dropout, rng))
         dim = width
     layers.append(Dense(dim, num_classes, rng))
-    return Sequential(layers)
+    return Sequential(layers, dtype=dtype)
 
 
 def build_lenet_mini(input_shape: tuple[int, ...], num_classes: int,
-                     rng: np.random.Generator, embed_dim: int = 48) -> Sequential:
+                     rng: np.random.Generator, embed_dim: int = 48,
+                     dtype=None) -> Sequential:
     """LeNet-style conv net for (c, h, w) inputs with h, w divisible by 4."""
     if len(input_shape) != 3:
         raise ValueError(f"lenet_mini expects (c, h, w) input; got {input_shape}")
@@ -81,12 +83,12 @@ def build_lenet_mini(input_shape: tuple[int, ...], num_classes: int,
         ReLU(),
         Dense(embed_dim, num_classes, rng),
     ]
-    return Sequential(layers)
+    return Sequential(layers, dtype=dtype)
 
 
 def build_convnet_small(input_shape: tuple[int, ...], num_classes: int,
                         rng: np.random.Generator, width: int = 32,
-                        embed_dim: int = 48) -> Sequential:
+                        embed_dim: int = 48, dtype=None) -> Sequential:
     """Conv encoder with global average pooling (ResNet-encoder analogue)."""
     if len(input_shape) != 3:
         raise ValueError(f"convnet_small expects (c, h, w) input; got {input_shape}")
@@ -105,12 +107,16 @@ def build_convnet_small(input_shape: tuple[int, ...], num_classes: int,
         ReLU(),
         Dense(embed_dim, num_classes, rng),
     ]
-    return Sequential(layers)
+    return Sequential(layers, dtype=dtype)
 
 
 def build_model(name: str, input_shape: tuple[int, ...], num_classes: int,
                 rng: np.random.Generator, **kwargs) -> Sequential:
-    """Construct a model by registry name."""
+    """Construct a model by registry name.
+
+    ``dtype`` (forwarded to every builder) selects parameter/activation
+    precision: float64 default, ``dtype="float32"`` for speed/memory.
+    """
     if num_classes < 2:
         raise ValueError("need at least two classes")
     if name == "mlp":

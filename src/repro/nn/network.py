@@ -1,12 +1,21 @@
-"""Sequential network container with penultimate-feature extraction.
+"""Sequential network container over one contiguous parameter vector.
 
-ShiftEx needs two things from a model beyond plain classification:
+ShiftEx needs three things from a model beyond plain classification:
 
 * ``features(x)`` — the penultimate (pre-logit) activations, which parties use
   as latent representations for MMD-based covariate shift detection
-  (paper Section 4.2);
+  (paper Section 4.2); ``forward_with_features`` returns logits *and*
+  features from a single pass;
 * flat parameter get/set — so the aggregator can FedAvg, compute cosine
-  similarity between experts, and clone expert models.
+  similarity between experts, and clone expert models;
+* a precision knob — ``dtype`` selects the parameter/activation precision
+  (float64 default; float32 halves memory and roughly doubles BLAS
+  throughput).
+
+Every layer's ``params``/``grads`` arrays are *views* into two contiguous
+flat buffers allocated at construction, so ``flatten_params(model.params)``
+is zero-copy and ``bind_to`` can point a model at external storage (e.g. a
+:class:`~repro.utils.params.ParamBank` row) without copying.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import BatchNorm, Layer
-from repro.utils.params import Params, flatten_params, unflatten_params
+from repro.utils.params import ParamSpec, Params, resolve_dtype
 
 
 class Sequential:
@@ -26,23 +35,98 @@ class Sequential:
         classification head, and ``features`` returns the input to it.
     feature_index : index of the layer whose *input* is the feature/embedding
         vector.  Defaults to the last layer (the classifier head).
+    dtype : parameter/activation precision (``None`` = float64).  Inputs are
+        cast on entry, so a float32 model runs the whole forward/backward
+        pass in float32.
     """
 
-    def __init__(self, layers: list[Layer], feature_index: int | None = None) -> None:
+    def __init__(self, layers: list[Layer], feature_index: int | None = None,
+                 dtype=None) -> None:
         if not layers:
             raise ValueError("Sequential requires at least one layer")
         self.layers = layers
         self.feature_index = len(layers) - 1 if feature_index is None else feature_index
         if not 0 <= self.feature_index < len(layers):
             raise ValueError("feature_index out of range")
+        self.dtype = resolve_dtype(dtype)
+        self._owners = [o for layer in layers for o in layer.param_owners()]
+        self._spec = ParamSpec.of([p for o in self._owners for p in o.params])
+        flat = np.empty(self._spec.total_size, dtype=self.dtype)
+        grads = np.zeros(self._spec.total_size, dtype=self.dtype)
+        self._rebind(flat, grads, copy_values=True)
+        for layer in layers:
+            layer.to_dtype(self.dtype)
+
+    # ------------------------------------------------------------------ storage
+
+    def _rebind(self, flat: np.ndarray, grads: np.ndarray | None,
+                copy_values: bool) -> None:
+        """Point every owner's param (and grad) arrays at slices of ``flat``.
+
+        With ``copy_values`` the current arrays are copied in first (model
+        keeps its weights); without it the model adopts ``flat``'s values.
+        """
+        offset = 0
+        for owner in self._owners:
+            for i, p in enumerate(owner.params):
+                view = flat[offset:offset + p.size].reshape(p.shape)
+                if copy_values:
+                    np.copyto(view, p, casting="same_kind")
+                owner.params[i] = view
+                if grads is not None:
+                    gview = grads[offset:offset + p.size].reshape(p.shape)
+                    if copy_values:
+                        np.copyto(gview, owner.grads[i], casting="same_kind")
+                    owner.grads[i] = gview
+                offset += p.size
+        self._flat = flat
+        if grads is not None:
+            self._flat_grads = grads
+
+    def bind_to(self, vector: np.ndarray) -> None:
+        """Adopt ``vector`` as parameter storage (zero-copy, both ways).
+
+        The model's weights become ``vector``'s current values; mutating the
+        vector (e.g. a :class:`~repro.utils.params.ParamBank` row) changes
+        the model and vice versa.  Gradients keep their own buffer.
+        """
+        vector = np.asarray(vector)
+        if vector.ndim != 1 or vector.size != self._spec.total_size:
+            raise ValueError(
+                f"cannot bind: vector has size {vector.size}, model needs "
+                f"{self._spec.total_size}"
+            )
+        if vector.dtype != self.dtype:
+            raise ValueError(
+                f"cannot bind: vector dtype {vector.dtype} does not match "
+                f"model dtype {self.dtype}"
+            )
+        self._rebind(vector, grads=None, copy_values=False)
 
     # ------------------------------------------------------------------ forward/backward
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        out = np.asarray(x, dtype=np.float64)
+        out = np.asarray(x, dtype=self.dtype)
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out
+
+    def forward_with_features(self, x: np.ndarray, training: bool = False,
+                              ) -> tuple[np.ndarray, np.ndarray]:
+        """One pass returning ``(logits, features)``.
+
+        ``features`` is the (flattened) input of the ``feature_index`` layer —
+        the same array ``features()`` returns — captured without a second
+        forward pass.
+        """
+        out = np.asarray(x, dtype=self.dtype)
+        feats: np.ndarray | None = None
+        for i, layer in enumerate(self.layers):
+            if i == self.feature_index:
+                feats = out if out.ndim <= 2 else out.reshape(out.shape[0], -1)
+            out = layer.forward(out, training=training)
+        assert feats is not None  # feature_index < len(layers)
+        return out, feats
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
@@ -51,12 +135,8 @@ class Sequential:
 
     def features(self, x: np.ndarray) -> np.ndarray:
         """Penultimate-layer activations (inference mode)."""
-        out = np.asarray(x, dtype=np.float64)
-        for layer in self.layers[: self.feature_index]:
-            out = layer.forward(out, training=False)
-        if out.ndim > 2:
-            out = out.reshape(out.shape[0], -1)
-        return out
+        _logits, feats = self.forward_with_features(x, training=False)
+        return feats
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return np.argmax(self.forward(x, training=False), axis=1)
@@ -69,6 +149,10 @@ class Sequential:
     # ------------------------------------------------------------------ parameters
 
     @property
+    def spec(self) -> ParamSpec:
+        return self._spec
+
+    @property
     def params(self) -> Params:
         return [p for layer in self.layers for p in layer.params]
 
@@ -76,13 +160,26 @@ class Sequential:
     def grads(self) -> Params:
         return [g for layer in self.layers for g in layer.grads]
 
+    @property
+    def flat_params(self) -> np.ndarray:
+        """The live contiguous parameter vector (zero-copy view)."""
+        return self._flat
+
+    @property
+    def flat_grads(self) -> np.ndarray:
+        """The live contiguous gradient vector (zero-copy view)."""
+        return self._flat_grads
+
     def zero_grads(self) -> None:
-        for layer in self.layers:
-            layer.zero_grads()
+        self._flat_grads.fill(0.0)
 
     def get_params(self) -> Params:
-        """Deep copy of the parameter list."""
-        return [p.copy() for p in self.params]
+        """Deep copy of the parameter list.
+
+        The returned arrays are views over one fresh flat vector, so
+        ``flatten_params`` on the result is zero-copy.
+        """
+        return self._spec.view(self._flat.copy())
 
     def set_params(self, params: Params) -> None:
         own = self.params
@@ -93,17 +190,20 @@ class Sequential:
         for dst, src in zip(own, params):
             if dst.shape != src.shape:
                 raise ValueError(f"parameter shape mismatch: {dst.shape} vs {src.shape}")
-            dst[...] = src
+            np.copyto(dst, src, casting="same_kind")
 
     def get_flat_params(self) -> np.ndarray:
-        return flatten_params(self.params)
+        """Snapshot copy of the flat parameter vector."""
+        return self._flat.copy()
 
     def set_flat_params(self, vector: np.ndarray) -> None:
-        self.set_params(unflatten_params(vector, self.params))
+        vector = np.asarray(vector)
+        self._spec._check_vector(vector)
+        np.copyto(self._flat, vector, casting="same_kind")
 
     @property
     def num_params(self) -> int:
-        return int(sum(p.size for p in self.params))
+        return self._spec.total_size
 
     # ------------------------------------------------------------------ extra state
 

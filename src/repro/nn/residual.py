@@ -59,6 +59,10 @@ class ResidualBlock(Layer):
         for layer in self._sublayers:
             layer.zero_grads()
 
+    def param_owners(self) -> list[Layer]:
+        # Sublayers own the arrays, in the same order ``params`` flattens them.
+        return [o for layer in self._sublayers for o in layer.param_owners()]
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         out = self.conv1.forward(x, training)
         out = self.relu1.forward(out, training)
@@ -90,7 +94,7 @@ class ResidualBlock(Layer):
 
 def build_resnet_mini(input_shape: tuple[int, ...], num_classes: int,
                       rng: np.random.Generator, width: int = 12,
-                      embed_dim: int = 32) -> Sequential:
+                      embed_dim: int = 32, dtype=None) -> Sequential:
     """Two residual stages + GAP + dense embedding head.
 
     Features (for shift detection) come from the dense embedding layer, as
@@ -110,4 +114,4 @@ def build_resnet_mini(input_shape: tuple[int, ...], num_classes: int,
         ReLU(),
         Dense(embed_dim, num_classes, rng),
     ]
-    return Sequential(layers)
+    return Sequential(layers, dtype=dtype)

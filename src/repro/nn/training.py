@@ -51,17 +51,28 @@ class LocalTrainingResult:
 
 def train_local(model: Sequential, x: np.ndarray, y: np.ndarray,
                 config: LocalTrainingConfig, rng: np.random.Generator,
-                global_params: Params | None = None) -> LocalTrainingResult:
+                global_params: Params | None = None,
+                out_flat: np.ndarray | None = None) -> LocalTrainingResult:
     """Run local epochs of mini-batch SGD on ``model`` (updated in place).
 
     ``global_params`` anchors the FedProx proximal term; required when
-    ``config.prox_mu > 0``.
+    ``config.prox_mu > 0``.  ``out_flat``, when given, receives the trained
+    flat parameter vector and the result's ``params`` become views of it —
+    the caller can hand over a :class:`~repro.utils.params.ParamBank` row so
+    the update lands directly in the aggregation bank without extra copies.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=model.dtype)
     y = np.asarray(y)
+
+    def result_params() -> Params:
+        if out_flat is None:
+            return model.get_params()
+        np.copyto(out_flat, model.flat_params, casting="same_kind")
+        return model.spec.view(out_flat)
+
     n = x.shape[0]
     if n == 0:
-        return LocalTrainingResult(model.get_params(), 0, float("nan"), 0)
+        return LocalTrainingResult(result_params(), 0, float("nan"), 0)
     if y.shape[0] != n:
         raise ValueError("x and y must have matching first dimension")
     if config.prox_mu > 0 and global_params is None:
@@ -93,16 +104,28 @@ def train_local(model: Sequential, x: np.ndarray, y: np.ndarray,
                     and epoch_batches >= config.max_batches_per_epoch):
                 break
     mean_loss = float(np.mean(losses)) if losses else float("nan")
-    return LocalTrainingResult(model.get_params(), n, mean_loss, batches_run, losses)
+    return LocalTrainingResult(result_params(), n, mean_loss, batches_run, losses)
 
 
-def evaluate(model: Sequential, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
-    """Return (accuracy, mean loss) of ``model`` on a labelled set."""
-    x = np.asarray(x, dtype=np.float64)
+def evaluate(model: Sequential, x: np.ndarray, y: np.ndarray,
+             return_features: bool = False,
+             ) -> tuple[float, float] | tuple[float, float, np.ndarray]:
+    """Return (accuracy, mean loss) of ``model`` on a labelled set.
+
+    With ``return_features`` the penultimate-layer activations come back as a
+    third element, extracted from the *same* forward pass (no second sweep
+    over the data).
+    """
+    x = np.asarray(x, dtype=model.dtype)
     y = np.asarray(y)
     if x.shape[0] == 0:
         raise ValueError("cannot evaluate on an empty set")
-    logits = model.forward(x, training=False)
+    if return_features:
+        logits, features = model.forward_with_features(x, training=False)
+    else:
+        logits = model.forward(x, training=False)
     loss, _ = softmax_cross_entropy(logits, y)
     acc = float(np.mean(np.argmax(logits, axis=1) == y))
+    if return_features:
+        return acc, loss, features
     return acc, loss

@@ -8,8 +8,12 @@ validation utilities used across subsystems.
 
 from repro.utils.rng import seed_sequence, spawn_rng
 from repro.utils.params import (
+    ParamBank,
     ParamSpec,
+    cosine_similarity_matrix,
     flatten_params,
+    resolve_dtype,
+    stack_params,
     unflatten_params,
     zeros_like_params,
     add_scaled,
@@ -35,7 +39,11 @@ from repro.utils.serialization import (
 __all__ = [
     "seed_sequence",
     "spawn_rng",
+    "ParamBank",
     "ParamSpec",
+    "cosine_similarity_matrix",
+    "resolve_dtype",
+    "stack_params",
     "flatten_params",
     "unflatten_params",
     "zeros_like_params",

@@ -1,9 +1,22 @@
-"""Model-parameter vector utilities.
+"""Model-parameter plane: flat vectors, zero-copy views, contiguous banks.
 
 Federated aggregation, FedProx proximal terms, expert consolidation and
 cosine-similarity merging all operate on *flattened* parameter vectors.
 :class:`ParamSpec` records the shapes of a model's parameter list so vectors
-round-trip losslessly.
+round-trip losslessly; :class:`ParamBank` holds many flattened models as rows
+of one contiguous ``(n_models, dim)`` matrix so aggregation and similarity
+scoring run as single BLAS calls instead of Python loops.
+
+Zero-copy conventions
+---------------------
+* :meth:`ParamSpec.view` reshapes a flat vector into a parameter list of
+  *views* — mutating a view mutates the vector (and vice versa).
+* :func:`flatten_params` detects parameter lists that are consecutive views
+  of one contiguous base vector (the layout :class:`~repro.nn.network.Sequential`
+  and :class:`ParamBank` produce) and returns that base without copying.
+* :meth:`ParamBank.row_params` exposes a bank row as shaped views.  Bank
+  growth may relocate the buffer, so do not cache row views across
+  ``alloc`` calls — re-fetch them instead.
 """
 
 from __future__ import annotations
@@ -13,6 +26,18 @@ from dataclasses import dataclass
 import numpy as np
 
 Params = list[np.ndarray]
+
+DEFAULT_DTYPE = np.float64
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Normalize a dtype knob (``None``/str/``np.dtype``) to a float dtype."""
+    if dtype is None:
+        return np.dtype(DEFAULT_DTYPE)
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"parameter dtype must be floating point; got {resolved}")
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -33,12 +58,16 @@ class ParamSpec:
     def total_size(self) -> int:
         return int(sum(self.sizes))
 
-    def unflatten(self, vector: np.ndarray) -> Params:
+    def _check_vector(self, vector: np.ndarray) -> None:
         if vector.ndim != 1 or vector.size != self.total_size:
             raise ValueError(
                 f"vector of size {vector.size} does not match spec "
                 f"with total size {self.total_size}"
             )
+
+    def unflatten(self, vector: np.ndarray) -> Params:
+        """Reshape ``vector`` into an owning parameter list (copies)."""
+        self._check_vector(vector)
         params: Params = []
         offset = 0
         for shape, size in zip(self.shapes, self.sizes):
@@ -46,12 +75,84 @@ class ParamSpec:
             offset += size
         return params
 
+    def view(self, vector: np.ndarray) -> Params:
+        """Reshape ``vector`` into a parameter list of zero-copy views.
 
-def flatten_params(params: Params) -> np.ndarray:
-    """Concatenate a parameter list into one float64 vector."""
+        Mutating a returned array mutates ``vector`` (and vice versa); the
+        list round-trips through :func:`flatten_params` without copying.
+        ``vector`` must be contiguous — a copy here would silently break
+        the aliasing contract.
+        """
+        vector = np.asarray(vector)
+        if not vector.flags.c_contiguous:
+            raise ValueError(
+                "ParamSpec.view requires a contiguous vector; copy it first "
+                "(views of a hidden copy would not alias the caller's data)"
+            )
+        self._check_vector(vector)
+        params: Params = []
+        offset = 0
+        for shape, size in zip(self.shapes, self.sizes):
+            params.append(vector[offset:offset + size].reshape(shape))
+            offset += size
+        return params
+
+
+def _root_base(array: np.ndarray) -> np.ndarray | None:
+    base = array.base
+    while isinstance(base, np.ndarray) and base.base is not None:
+        base = base.base
+    return base if isinstance(base, np.ndarray) else None
+
+
+def _contiguous_base(params: Params) -> np.ndarray | None:
+    """The base vector when ``params`` are consecutive views of one buffer.
+
+    Returns the covering slice of the shared contiguous base (zero-copy,
+    flattened when the base is multi-dimensional, e.g. a ``ParamBank``
+    buffer), or None when the list does not tile a single buffer.
+    """
+    base = _root_base(params[0])
+    if base is None or not base.flags.c_contiguous:
+        return None
+    itemsize = base.itemsize
+    base_addr = base.__array_interface__["data"][0]
+    first_addr = params[0].__array_interface__["data"][0]
+    if (first_addr - base_addr) % itemsize:
+        return None
+    start = (first_addr - base_addr) // itemsize
+    cursor = start
+    for p in params:
+        if p.size == 0:
+            continue
+        if (_root_base(p) is not base or p.dtype != base.dtype
+                or not p.flags.c_contiguous):
+            return None
+        if p.__array_interface__["data"][0] != base_addr + cursor * itemsize:
+            return None
+        cursor += p.size
+    flat_base = base if base.ndim == 1 else base.reshape(-1)
+    if start == 0 and cursor == flat_base.size:
+        return flat_base
+    return flat_base[start:cursor]
+
+
+def flatten_params(params: Params, dtype=None) -> np.ndarray:
+    """Concatenate a parameter list into one flat vector.
+
+    When the list already consists of consecutive views over one contiguous
+    buffer (models bound to flat storage, bank rows) the buffer itself is
+    returned as a zero-copy view; otherwise the arrays are concatenated.
+    ``dtype`` forces the result dtype (default: float64 for plain lists,
+    the shared buffer's dtype on the zero-copy path).
+    """
     if not params:
-        return np.zeros(0)
-    return np.concatenate([np.asarray(p, dtype=np.float64).ravel() for p in params])
+        return np.zeros(0, dtype=resolve_dtype(dtype))
+    base = _contiguous_base(params)
+    if base is not None and (dtype is None or base.dtype == np.dtype(dtype)):
+        return base
+    target = np.dtype(dtype) if dtype is not None else np.float64
+    return np.concatenate([np.asarray(p, dtype=target).ravel() for p in params])
 
 
 def unflatten_params(vector: np.ndarray, like: Params) -> Params:
@@ -71,8 +172,42 @@ def add_scaled(accum: Params, params: Params, scale: float) -> None:
         a += scale * p
 
 
-def weighted_average(param_sets: list[Params], weights: list[float]) -> Params:
-    """Weighted average of parameter lists (the FedAvg aggregation rule)."""
+def stack_params(param_sets: list[Params], dtype=None,
+                 names: list[str] | None = None,
+                 ) -> tuple[np.ndarray, ParamSpec]:
+    """Stack parameter lists into one ``(n_sets, dim)`` matrix.
+
+    Every list must match the first one's shapes; a mismatch raises a
+    ``ValueError`` naming the offending entry (``names[i]`` when given, the
+    index otherwise) and both shape tuples.
+    """
+    if not param_sets:
+        raise ValueError("no parameter sets to stack")
+    spec = ParamSpec.of(param_sets[0])
+    if dtype is None:
+        dtype = np.result_type(*(p.dtype for p in param_sets[0])) \
+            if param_sets[0] else np.dtype(DEFAULT_DTYPE)
+    matrix = np.empty((len(param_sets), spec.total_size), dtype=dtype)
+    for i, params in enumerate(param_sets):
+        got = ParamSpec.of(params)
+        if got != spec:
+            who = names[i] if names is not None else f"entry {i}"
+            raise ValueError(
+                f"parameter shapes of {who} do not align: expected "
+                f"{spec.shapes}, got {got.shapes}"
+            )
+        matrix[i] = flatten_params(params, dtype=dtype)
+    return matrix, spec
+
+
+def weighted_average(param_sets: list[Params], weights: list[float],
+                     names: list[str] | None = None) -> Params:
+    """Weighted average of parameter lists (the FedAvg aggregation rule).
+
+    Computed as a single ``w @ M`` matrix-vector product over the stacked
+    flattened sets.  ``names`` labels the sets in shape-mismatch errors
+    (e.g. party ids); the result is a view list over one fresh flat vector.
+    """
     if not param_sets:
         raise ValueError("no parameter sets to average")
     if len(param_sets) != len(weights):
@@ -80,10 +215,221 @@ def weighted_average(param_sets: list[Params], weights: list[float]) -> Params:
     total = float(sum(weights))
     if total <= 0:
         raise ValueError("weights must sum to a positive value")
-    out = zeros_like_params(param_sets[0])
-    for params, weight in zip(param_sets, weights):
-        add_scaled(out, params, weight / total)
-    return out
+    matrix, spec = stack_params(param_sets, names=names)
+    scaled = np.asarray(weights, dtype=matrix.dtype) / total
+    return spec.view(scaled @ matrix)
+
+
+def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity of the rows of ``matrix`` in one matmul.
+
+    Zero rows follow the :func:`params_cosine_similarity` conventions:
+    similarity 1 between two zero rows, 0 between a zero and a non-zero row.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix; got shape {matrix.shape}")
+    norms = np.linalg.norm(matrix, axis=1)
+    zero = norms == 0.0
+    safe = np.where(zero, 1.0, norms)
+    unit = matrix / safe[:, None]
+    sims = unit @ unit.T
+    if zero.any():
+        sims[zero, :] = 0.0
+        sims[:, zero] = 0.0
+        sims[np.ix_(zero, zero)] = 1.0
+    return sims
+
+
+class ParamBank:
+    """Contiguous ``(n_rows, dim)`` storage for flattened parameter sets.
+
+    Rows are allocated/released with reference counts so cheap clones can
+    share storage copy-on-write (:meth:`share` / :meth:`ensure_private`).
+    ``matrix()`` exposes the live rows for single-matmul aggregation and
+    similarity scoring.  Growth may relocate the buffer — do not cache row
+    views across ``alloc`` calls.
+    """
+
+    def __init__(self, spec: ParamSpec, dtype=None, capacity: int = 4) -> None:
+        self.spec = spec
+        self.dtype = resolve_dtype(dtype)
+        self._buf = np.zeros((max(int(capacity), 1), spec.total_size),
+                             dtype=self.dtype)
+        self._refs: list[int] = []  # per-slot reference count (0 = free)
+        self._free: list[int] = []
+
+    # ------------------------------------------------------------------ construction
+
+    @classmethod
+    def from_param_sets(cls, param_sets: list[Params], dtype=None,
+                        names: list[str] | None = None) -> "ParamBank":
+        """Stack parameter lists into a fresh bank (one row per set)."""
+        matrix, spec = stack_params(param_sets, dtype=dtype, names=names)
+        bank = cls(spec, dtype=matrix.dtype, capacity=len(param_sets))
+        bank._buf[:len(param_sets)] = matrix
+        bank._refs = [1] * len(param_sets)
+        return bank
+
+    # ------------------------------------------------------------------ row lifecycle
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._refs)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of live (referenced) rows."""
+        return sum(1 for r in self._refs if r > 0)
+
+    @property
+    def dim(self) -> int:
+        return self.spec.total_size
+
+    def _grow(self, min_slots: int) -> None:
+        if min_slots <= self._buf.shape[0]:
+            return
+        new_cap = max(min_slots, 2 * self._buf.shape[0])
+        buf = np.zeros((new_cap, self.dim), dtype=self.dtype)
+        buf[:self._buf.shape[0]] = self._buf
+        self._buf = buf
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < len(self._refs) or self._refs[row] == 0:
+            raise KeyError(f"row {row} is not a live bank row")
+
+    def alloc(self, values: Params | np.ndarray | None = None) -> int:
+        """Allocate a row (refcount 1), optionally initialized with values."""
+        if self._free:
+            row = self._free.pop()
+        else:
+            row = len(self._refs)
+            self._refs.append(0)
+            self._grow(row + 1)
+        self._refs[row] = 1
+        if values is None:
+            self._buf[row] = 0.0
+        else:
+            self.write_row(row, values)
+        return row
+
+    def share(self, row: int) -> int:
+        """Add a copy-on-write reference to ``row``."""
+        self._check_row(row)
+        self._refs[row] += 1
+        return row
+
+    def release(self, row: int) -> None:
+        """Drop one reference; the slot is recycled when none remain."""
+        self._check_row(row)
+        self._refs[row] -= 1
+        if self._refs[row] == 0:
+            self._free.append(row)
+
+    def refcount(self, row: int) -> int:
+        self._check_row(row)
+        return self._refs[row]
+
+    def is_shared(self, row: int) -> bool:
+        return self.refcount(row) > 1
+
+    def ensure_private(self, row: int) -> int:
+        """Copy-on-write split: return a row only this caller references."""
+        self._check_row(row)
+        if self._refs[row] == 1:
+            return row
+        self._refs[row] -= 1
+        values = self._buf[row].copy()  # copy before alloc: growth relocates
+        return self.alloc(values)
+
+    # ------------------------------------------------------------------ row access
+
+    def row(self, row: int) -> np.ndarray:
+        """Zero-copy 1-D view of one row."""
+        self._check_row(row)
+        return self._buf[row]
+
+    def row_params(self, row: int, writeable: bool = True) -> Params:
+        """The row as shaped zero-copy parameter views."""
+        views = self.spec.view(self.row(row))
+        if not writeable:
+            for v in views:
+                v.flags.writeable = False
+        return views
+
+    def write_row(self, row: int, values: Params | np.ndarray) -> None:
+        self._check_row(row)
+        if isinstance(values, np.ndarray) and values.ndim == 1:
+            self.spec._check_vector(values)
+            np.copyto(self._buf[row], values, casting="same_kind")
+            return
+        got = ParamSpec.of(values)
+        if got != self.spec:
+            raise ValueError(
+                f"parameter shapes do not match bank spec: expected "
+                f"{self.spec.shapes}, got {got.shapes}"
+            )
+        target = self.spec.view(self._buf[row])
+        for dst, src in zip(target, values):
+            np.copyto(dst, src, casting="same_kind")
+
+    # ------------------------------------------------------------------ matrix ops
+
+    def matrix(self, rows: list[int] | None = None) -> np.ndarray:
+        """Stacked ``(k, dim)`` matrix of the given (default: all live) rows.
+
+        A zero-copy view when the rows form an ascending contiguous run,
+        otherwise one gather copy.  With ``rows=None`` the order is *slot*
+        order, which diverges from allocation order once a released slot has
+        been recycled — callers pairing rows with positional metadata
+        (weights, expert ids) must pass explicit ``rows``.
+        """
+        if rows is None:
+            rows = [i for i, r in enumerate(self._refs) if r > 0]
+        else:
+            for row in rows:
+                self._check_row(row)
+        if not rows:
+            return np.zeros((0, self.dim), dtype=self.dtype)
+        first, last = rows[0], rows[-1]
+        if rows == list(range(first, last + 1)):
+            return self._buf[first:last + 1]
+        return self._buf[np.asarray(rows)]
+
+    def weighted_combine(self, weights, rows: list[int] | None = None) -> np.ndarray:
+        """FedAvg kernel: normalized ``w @ matrix`` in one BLAS call.
+
+        ``weights`` align positionally with ``rows``; pass explicit ``rows``
+        whenever any row has ever been released (see :meth:`matrix`).
+        """
+        matrix = self.matrix(rows)
+        weights = np.asarray(weights, dtype=self.dtype)
+        if weights.shape != (matrix.shape[0],):
+            raise ValueError(
+                f"weights shape {weights.shape} does not match "
+                f"{matrix.shape[0]} rows"
+            )
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        return (weights / total) @ matrix
+
+    def cosine_matrix(self, rows: list[int] | None = None) -> np.ndarray:
+        """Pairwise cosine similarity of rows via one normalized matmul."""
+        return cosine_similarity_matrix(self.matrix(rows))
+
+    def astype(self, dtype) -> "ParamBank":
+        """A new bank with every slot cast to ``dtype`` (refcounts preserved)."""
+        dtype = resolve_dtype(dtype)
+        bank = ParamBank(self.spec, dtype=dtype, capacity=max(self.n_slots, 1))
+        bank._buf[:self.n_slots] = self._buf[:self.n_slots].astype(dtype)
+        bank._refs = list(self._refs)
+        bank._free = list(self._free)
+        return bank
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._buf.nbytes)
 
 
 def params_cosine_similarity(a: Params, b: Params) -> float:
@@ -101,4 +447,6 @@ def params_cosine_similarity(a: Params, b: Params) -> float:
 
 def params_l2_distance(a: Params, b: Params) -> float:
     """Euclidean distance between two flattened parameter lists."""
-    return float(np.linalg.norm(flatten_params(a) - flatten_params(b)))
+    fa = np.asarray(flatten_params(a), dtype=np.float64)
+    fb = np.asarray(flatten_params(b), dtype=np.float64)
+    return float(np.linalg.norm(fa - fb))

@@ -2,7 +2,8 @@
 
 Deployment plumbing a downstream user needs: checkpoint an expert pool
 between aggregator restarts, export a run's metrics for plotting.  Parameter
-lists go to ``.npz`` (lossless float64); run results to JSON.
+lists go to ``.npz`` (lossless at the model's configured precision); run
+results to JSON.
 """
 
 from __future__ import annotations
@@ -108,7 +109,9 @@ def load_expert_registry(path: str | Path):
                 samples_seen=entry["samples_seen"],
                 merged_from=tuple(entry["merged_from"]),
             )
-            registry._experts[eid] = expert
+            # ``adopt`` moves the expert onto the registry's contiguous
+            # parameter bank so pool-level matrix ops stay single matmuls.
+            registry.adopt(expert)
         registry._next_id = max((e["expert_id"] for e in manifest["experts"]),
                                 default=-1) + 1
         registry.created_total = manifest["created_total"]

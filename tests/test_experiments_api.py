@@ -140,6 +140,23 @@ class TestPlan:
         assert r_spec == spec
         assert r_settings == settings
 
+    def test_dtype_round_trip_and_resolve(self):
+        plan = ExperimentPlan.build("cifar10_c_sim", ["fedavg"],
+                                    dtype="float32")
+        restored = ExperimentPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict())))
+        assert restored.dtype == "float32"
+        _spec, settings = restored.resolve()
+        assert settings.dtype == "float32"
+        # Default: precision comes from the profile settings (float64).
+        _spec, settings = ExperimentPlan.build(
+            "cifar10_c_sim", ["fedavg"]).resolve()
+        assert settings.dtype == "float64"
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentPlan.build("cifar10_c_sim", ["fedavg"], dtype="int8")
+
     def test_json_and_toml_files(self, tmp_path):
         plan = ExperimentPlan.build("cifar10_c_sim", ["fedavg"], seeds=(0, 1),
                                     name="files")

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.detection.mmd import class_conditional_mmd, mmd
 from repro.experts.matching import match_cluster_to_expert, nearest_expert
 from repro.experts.registry import ExpertRegistry
 from repro.utils.rng import spawn_rng
@@ -71,6 +72,94 @@ class TestRegistry:
         reserved = registry.allocate_id()
         e2 = registry.create(simple_params(rng), window=0)
         assert e2.expert_id == reserved + 1
+
+
+class TestBankStorage:
+    def test_pool_lives_in_one_bank(self, registry, rng):
+        e0 = registry.create(simple_params(rng), window=0)
+        e1 = registry.create(simple_params(rng), window=0)
+        matrix = registry.param_matrix()
+        assert matrix.shape == (2, 15)  # 4*3 + 3
+        assert np.allclose(matrix[0], e0.flat)
+        assert np.allclose(matrix[1], e1.flat)
+
+    def test_mutating_row_view_is_visible_through_params(self, registry, rng):
+        expert = registry.create(simple_params(rng), window=0)
+        expert.flat[0] = 321.0  # private row: the flat view is writable
+        assert expert.params[0][0, 0] == 321.0
+        expert.params[0][0, 1] = 654.0
+        assert registry.param_matrix()[0, 1] == 654.0
+
+    def test_create_rejects_mismatched_shapes(self, registry, rng):
+        registry.create(simple_params(rng), window=0)
+        with pytest.raises(ValueError):
+            registry.create([rng.normal(size=(2, 2))], window=0)
+
+    def test_removed_expert_keeps_its_parameters(self, registry, rng):
+        expert = registry.create(simple_params(rng), window=0)
+        snapshot = expert.clone_params()
+        registry.remove(expert.expert_id)
+        other = registry.create(simple_params(rng), window=1)
+        assert other is not expert
+        assert all(np.allclose(a, b) for a, b in zip(expert.params, snapshot))
+
+
+class TestCopyOnWriteClone:
+    def test_clone_shares_row_until_write(self, registry, rng):
+        source = registry.create(simple_params(rng), window=0)
+        clone = registry.clone(source.expert_id, window=1)
+        assert clone.expert_id != source.expert_id
+        assert np.shares_memory(clone.flat, source.flat)
+        assert source.is_cow_shared and clone.is_cow_shared
+
+    def test_shared_views_are_read_only(self, registry, rng):
+        source = registry.create(simple_params(rng), window=0)
+        clone = registry.clone(source.expert_id, window=1)
+        with pytest.raises(ValueError):
+            source.params[0][0, 0] = 1.0
+        with pytest.raises(ValueError):
+            clone.flat[0] = 1.0
+
+    def test_write_splits_clone_from_source(self, registry, rng):
+        source = registry.create(simple_params(rng), window=0)
+        before = source.clone_params()
+        clone = registry.clone(source.expert_id, window=1)
+        clone.set_params([p * 2 for p in before])
+        assert not np.shares_memory(clone.flat, source.flat)
+        assert all(np.allclose(a, b) for a, b in zip(source.params, before))
+        assert np.allclose(clone.params[0], 2 * before[0])
+        # Both rows are private again: writable views.
+        source.params[0][0, 0] = 9.0
+        assert source.flat[0] == 9.0
+
+    def test_write_through_source_preserves_clone(self, registry, rng):
+        source = registry.create(simple_params(rng), window=0)
+        before = source.clone_params()
+        clone = registry.clone(source.expert_id, window=1)
+        source.set_flat(np.zeros_like(np.asarray(source.flat)))
+        assert np.allclose(source.flat, 0.0)
+        assert all(np.allclose(a, b) for a, b in zip(clone.params, before))
+
+    def test_clone_starts_with_fresh_memory(self, registry, rng):
+        source = registry.create(simple_params(rng), window=0,
+                                 embeddings=rng.normal(size=(20, 5)), rng=rng)
+        clone = registry.clone(source.expert_id, window=1)
+        assert clone.memory.is_empty
+        assert not source.memory.is_empty
+        assert clone.notes.get("cloned_from") == source.expert_id
+
+    def test_clone_keeps_provenance_with_caller_notes(self, registry, rng):
+        source = registry.create(simple_params(rng), window=0)
+        clone = registry.clone(source.expert_id, window=1,
+                               notes={"reason": "drift"})
+        assert clone.notes["cloned_from"] == source.expert_id
+        assert clone.notes["reason"] == "drift"
+
+    def test_clone_counts_as_created(self, registry, rng):
+        source = registry.create(simple_params(rng), window=0)
+        registry.clone(source.expert_id, window=1)
+        assert registry.created_total == 2
+        assert len(registry) == 2
 
 
 class TestMatching:
@@ -154,3 +243,32 @@ class TestMatching:
 
     def test_nearest_expert_empty_registry(self, rng):
         assert nearest_expert(rng.normal(size=(5, 3)), ExpertRegistry()) is None
+
+    def test_batched_scores_match_per_expert_mmd(self, rng):
+        registry, clean, foggy = self.make_registry_with_regimes(rng)
+        cluster = rng.normal(size=(30, 4)) + 2.0
+        result = match_cluster_to_expert(cluster, registry, epsilon=10.0,
+                                         gamma=0.1)
+        for expert in (clean, foggy):
+            expected = mmd(cluster, expert.memory.signature, 0.1)
+            assert result.scores[expert.expert_id] == pytest.approx(
+                expected, abs=1e-9)
+
+    def test_batched_class_conditional_matches_per_expert(self, rng):
+        registry = ExpertRegistry(memory_capacity=24)
+        experts = []
+        for offset in (0.0, 3.0, 6.0):
+            experts.append(registry.create(
+                simple_params(rng), window=0,
+                embeddings=rng.normal(size=(40, 4)) + offset,
+                labels=rng.integers(0, 3, 40), rng=rng))
+        cluster = rng.normal(size=(36, 4)) + 3.0
+        labels = rng.integers(0, 3, 36)
+        result = match_cluster_to_expert(cluster, registry, epsilon=10.0,
+                                         gamma=0.1, cluster_labels=labels)
+        for expert in experts:
+            expected = class_conditional_mmd(
+                cluster, labels, expert.memory.signature,
+                expert.memory.signature_labels, 0.1)
+            assert result.scores[expert.expert_id] == pytest.approx(
+                expected, abs=1e-9)

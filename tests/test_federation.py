@@ -99,6 +99,14 @@ class TestFedAvg:
         with pytest.raises(ValueError):
             fedavg([])
 
+    def test_shape_mismatch_names_party_and_shapes(self):
+        updates = [
+            self.make_update(3, 0.0, 10),
+            LocalUpdate(9, [np.zeros((3, 1))], 10, 1.0),
+        ]
+        with pytest.raises(ValueError, match=r"party 9.*\(3, 1\)"):
+            fedavg(updates)
+
     @given(st.lists(st.tuples(st.floats(-5, 5), st.integers(1, 50)),
                     min_size=1, max_size=6))
     @settings(max_examples=30, deadline=None)

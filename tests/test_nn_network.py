@@ -66,6 +66,128 @@ class TestFeatures:
             Sequential([Dense(2, 2, rng)], feature_index=5)
 
 
+class TestForwardWithFeatures:
+    def test_matches_separate_calls(self, rng):
+        net = make_net(rng)
+        x = rng.normal(size=(4, 6))
+        logits, feats = net.forward_with_features(x)
+        assert np.allclose(logits, net.forward(x))
+        assert np.allclose(feats, net.features(x))
+
+    def test_custom_feature_index(self, rng):
+        net = Sequential([Dense(6, 5, rng), ReLU(), Dense(5, 3, rng)],
+                         feature_index=1)
+        x = rng.normal(size=(2, 6))
+        logits, feats = net.forward_with_features(x)
+        assert feats.shape == (2, 5)
+        assert logits.shape == (2, 3)
+
+    def test_conv_features_flattened(self, rng):
+        from repro.nn.layers import Conv2d, GlobalAvgPool2d
+        net = Sequential([Conv2d(1, 4, 3, rng, padding=1), GlobalAvgPool2d(),
+                          Dense(4, 2, rng)])
+        _logits, feats = net.forward_with_features(rng.normal(size=(3, 1, 6, 6)))
+        assert feats.shape == (3, 4)
+
+
+class TestFlatStorage:
+    def test_params_are_views_of_flat_vector(self, rng):
+        net = make_net(rng)
+        flat = net.flat_params
+        assert flat.size == net.num_params
+        flat[0] = 123.0
+        assert net.params[0].ravel()[0] == 123.0
+        net.params[0][0, 0] = 456.0
+        assert flat[0] == 456.0
+
+    def test_grads_are_views_of_flat_vector(self, rng):
+        net = make_net(rng)
+        from repro.nn.losses import softmax_cross_entropy
+        logits = net.forward(rng.normal(size=(4, 6)), training=True)
+        _, grad = softmax_cross_entropy(logits, rng.integers(0, 3, 4))
+        net.backward(grad)
+        assert np.abs(net.flat_grads).sum() > 0
+        net.zero_grads()
+        assert np.all(net.flat_grads == 0)
+
+    def test_flatten_params_of_model_is_zero_copy(self, rng):
+        from repro.utils.params import flatten_params
+        net = make_net(rng)
+        flat = flatten_params(net.params)
+        assert np.shares_memory(flat, net.flat_params)
+
+    def test_bind_to_external_vector(self, rng):
+        from repro.utils.params import ParamBank
+        net = make_net(rng)
+        bank = ParamBank.from_param_sets([net.get_params()])
+        x = rng.normal(size=(3, 6))
+        before = net.forward(x)
+        net.bind_to(bank.row(0))
+        assert np.allclose(net.forward(x), before)
+        # Mutating the bank row is visible through the model...
+        bank.row(0)[:] = 0.0
+        assert np.allclose(net.forward(x), net.forward(x * 0))
+        # ...and training the model writes into the bank row.
+        net.params[0][0, 0] = 5.0
+        assert bank.row(0)[0] == 5.0
+
+    def test_bind_to_rejects_wrong_size_or_dtype(self, rng):
+        net = make_net(rng)
+        with pytest.raises(ValueError):
+            net.bind_to(np.zeros(net.num_params + 1))
+        with pytest.raises(ValueError):
+            net.bind_to(np.zeros(net.num_params, dtype=np.float32))
+
+    def test_resnet_composite_blocks_are_bound(self, rng):
+        from repro.nn.residual import build_resnet_mini
+        net = build_resnet_mini((1, 4, 4), 3, rng)
+        net.flat_params[:] = 0.25
+        assert all(np.all(p == 0.25) for p in net.params)
+
+
+class TestDtype:
+    def test_default_is_float64(self, rng):
+        net = make_net(rng)
+        assert net.dtype == np.dtype(np.float64)
+        assert net.forward(rng.normal(size=(2, 6))).dtype == np.float64
+
+    def test_float32_model_runs_in_float32(self, rng):
+        net = Sequential([Dense(6, 5, rng), ReLU(), Dense(5, 3, rng)],
+                         dtype=np.float32)
+        assert all(p.dtype == np.float32 for p in net.params)
+        x = rng.normal(size=(4, 6))  # float64 input is cast on entry
+        logits = net.forward(x, training=True)
+        assert logits.dtype == np.float32
+        from repro.nn.losses import softmax_cross_entropy
+        _, grad = softmax_cross_entropy(logits, rng.integers(0, 3, 4))
+        net.backward(grad)
+        assert all(g.dtype == np.float32 for g in net.grads)
+
+    def test_float32_matches_float64_closely(self, rng):
+        net64 = make_net(rng)
+        net32 = Sequential([Dense(6, 5, rng), ReLU(), Dense(5, 3, rng)],
+                           dtype=np.float32)
+        net32.set_params(net64.get_params())  # float64 -> float32 cast
+        x = rng.normal(size=(8, 6))
+        assert np.allclose(net32.forward(x), net64.forward(x), atol=1e-4)
+
+    def test_builder_dtype_knob(self, rng):
+        from repro.nn.models import build_model
+        net = build_model("mlp", (8,), 3, rng, dtype="float32")
+        assert net.dtype == np.dtype(np.float32)
+
+    def test_train_local_respects_dtype(self, rng):
+        from repro.nn.models import build_model
+        from repro.nn.training import LocalTrainingConfig, train_local
+        net = build_model("mlp", (4,), 3, rng, dtype="float32")
+        x = rng.normal(size=(16, 4))
+        y = rng.integers(0, 3, 16)
+        result = train_local(net, x, y, LocalTrainingConfig(epochs=1,
+                                                            batch_size=8), rng)
+        assert np.isfinite(result.mean_loss)
+        assert all(p.dtype == np.float32 for p in result.params)
+
+
 class TestParams:
     def test_get_set_roundtrip(self, rng):
         net = make_net(rng)

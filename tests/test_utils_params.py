@@ -5,11 +5,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.utils.params import (
+    ParamBank,
     ParamSpec,
     add_scaled,
+    cosine_similarity_matrix,
     flatten_params,
     params_cosine_similarity,
     params_l2_distance,
+    resolve_dtype,
+    stack_params,
     unflatten_params,
     weighted_average,
     zeros_like_params,
@@ -121,6 +125,140 @@ class TestAddScaledAndZeros:
         a = make_params(rng)
         with pytest.raises(ValueError):
             add_scaled(a, a[:-1], 1.0)
+
+
+class TestZeroCopyPlane:
+    def test_spec_view_aliases_vector(self, rng):
+        params = make_params(rng)
+        spec = ParamSpec.of(params)
+        vector = flatten_params(params).copy()
+        views = spec.view(vector)
+        views[0][0, 0] = 123.0
+        assert vector[0] == 123.0
+        vector[-1] = -7.0
+        assert views[-1].ravel()[-1] == -7.0
+
+    def test_flatten_of_view_list_is_zero_copy(self, rng):
+        params = make_params(rng)
+        spec = ParamSpec.of(params)
+        vector = flatten_params(params).copy()
+        views = spec.view(vector)
+        flat = flatten_params(views)
+        assert flat is vector or flat.base is vector
+        assert np.shares_memory(flat, vector)
+
+    def test_flatten_of_plain_list_copies(self, rng):
+        params = make_params(rng)
+        flat = flatten_params(params)
+        flat[0] = 999.0
+        assert params[0].ravel()[0] != 999.0
+
+    def test_stack_params_mismatch_names_offender(self, rng):
+        good = make_params(rng)
+        bad = make_params(rng, shapes=((3, 4), (5,), (2, 2, 2)))
+        with pytest.raises(ValueError, match="party 7"):
+            stack_params([good, bad], names=["party 3", "party 7"])
+
+    def test_weighted_average_mismatch_reports_shapes(self, rng):
+        good = make_params(rng)
+        bad = make_params(rng, shapes=((2, 2),))
+        with pytest.raises(ValueError, match=r"entry 1.*\(2, 2\)"):
+            weighted_average([good, bad], [1.0, 1.0])
+
+    def test_resolve_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            resolve_dtype(np.int32)
+
+
+class TestParamBank:
+    def make_bank(self, rng, n=3, dtype=None):
+        sets = [make_params(rng) for _ in range(n)]
+        return ParamBank.from_param_sets(sets, dtype=dtype), sets
+
+    def test_row_params_are_zero_copy_views(self, rng):
+        bank, sets = self.make_bank(rng)
+        views = bank.row_params(1)
+        views[0][0, 0] = 42.0
+        assert bank.row(1)[0] == 42.0
+        assert bank.matrix()[1, 0] == 42.0
+
+    def test_rows_roundtrip_values(self, rng):
+        bank, sets = self.make_bank(rng)
+        for i, params in enumerate(sets):
+            for view, original in zip(bank.row_params(i), params):
+                assert np.allclose(view, original)
+
+    def test_weighted_combine_matches_weighted_average(self, rng):
+        bank, sets = self.make_bank(rng)
+        weights = [1.0, 2.0, 3.0]
+        combined = bank.weighted_combine(weights)
+        expected = weighted_average(sets, weights)
+        assert np.allclose(combined, flatten_params(expected))
+
+    def test_cosine_matrix_matches_pairwise(self, rng):
+        bank, sets = self.make_bank(rng, n=4)
+        sims = bank.cosine_matrix()
+        for i in range(4):
+            for j in range(4):
+                assert sims[i, j] == pytest.approx(
+                    params_cosine_similarity(sets[i], sets[j]), abs=1e-12)
+
+    def test_cosine_matrix_zero_row_conventions(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 0.0]])
+        sims = cosine_similarity_matrix(matrix)
+        assert sims[0, 2] == 1.0  # zero vs zero
+        assert sims[0, 1] == 0.0  # zero vs non-zero
+        assert sims[1, 1] == pytest.approx(1.0)
+
+    def test_float32_float64_roundtrip(self, rng):
+        bank64, sets = self.make_bank(rng, dtype=np.float64)
+        bank32 = bank64.astype(np.float32)
+        assert bank32.dtype == np.dtype(np.float32)
+        back = bank32.astype(np.float64)
+        # float64 -> float32 -> float64 equals the float32 quantization...
+        assert np.allclose(back.matrix(), bank64.matrix(), atol=1e-6)
+        # ...and a float32-born bank round-trips through float64 exactly.
+        again = back.astype(np.float32)
+        assert np.array_equal(again.matrix(), bank32.matrix())
+
+    def test_alloc_release_recycles_slots(self, rng):
+        bank, _sets = self.make_bank(rng)
+        row = bank.alloc()
+        assert bank.refcount(row) == 1
+        bank.release(row)
+        assert bank.alloc() == row  # slot recycled
+        with pytest.raises(KeyError):
+            bank.row(99)
+
+    def test_share_makes_copy_on_write(self, rng):
+        bank, sets = self.make_bank(rng, n=1)
+        clone_row = bank.share(0)
+        assert clone_row == 0 and bank.is_shared(0)
+        private = bank.ensure_private(0)
+        assert private != 0
+        assert not bank.is_shared(0)
+        assert np.allclose(bank.row(private), bank.row(0))
+        bank.row(private)[0] = 77.0
+        assert bank.row(0)[0] != 77.0
+
+    def test_growth_preserves_rows(self, rng):
+        bank, sets = self.make_bank(rng)
+        before = bank.matrix().copy()
+        for _ in range(64):  # force several buffer relocations
+            bank.alloc()
+        assert np.allclose(bank.matrix()[:3], before)
+
+    def test_matrix_contiguous_run_is_view(self, rng):
+        bank, _sets = self.make_bank(rng)
+        matrix = bank.matrix([0, 1, 2])
+        assert np.shares_memory(matrix, bank.row(0))
+
+    def test_bad_weights_rejected(self, rng):
+        bank, _sets = self.make_bank(rng)
+        with pytest.raises(ValueError):
+            bank.weighted_combine([1.0, 2.0])
+        with pytest.raises(ValueError):
+            bank.weighted_combine([0.0, 0.0, 0.0])
 
 
 class TestSimilarity:
