@@ -18,6 +18,9 @@ import sys
 from pathlib import Path
 
 from repro.data.registry import build_shift_schedule, dataset_names, get_dataset_spec
+from repro.federation.aggregation import STALENESS_POLICIES
+from repro.federation.async_engine import PARTICIPATION_MODES, FederationConfig
+from repro.federation.availability import SCENARIOS, AvailabilityConfig
 from repro.experiments import (
     ExperimentPlan,
     ParallelExecutor,
@@ -97,6 +100,69 @@ def _save_runs(result, output_dir: str) -> None:
     print(f"\nper-run JSON written to {out}/")
 
 
+def _federation_from_args(args) -> FederationConfig | None:
+    """A FederationConfig when any participation flag was given, else None."""
+    flags = (args.participation, args.scenario, args.dropout, args.straggler,
+             args.outage, args.min_reports, args.max_wait,
+             args.staleness_policy)
+    if all(f is None for f in flags):
+        return None
+    buffering_flags = (args.min_reports is not None
+                       or args.max_wait is not None
+                       or args.staleness_policy is not None)
+    if args.participation in (None, "sync") and buffering_flags:
+        print("warning: --min-reports/--max-wait/--staleness-policy only "
+              "affect --participation buffered/async; synchronous rounds "
+              "ignore them", file=sys.stderr)
+    availability = AvailabilityConfig.scenario(args.scenario or "none")
+    overrides = {}
+    if args.dropout is not None:
+        overrides["dropout_prob"] = args.dropout
+    if args.straggler is not None:
+        overrides["straggler_prob"] = args.straggler
+    if args.outage is not None:
+        overrides["outage_prob"] = args.outage
+    if overrides:
+        import dataclasses
+        availability = dataclasses.replace(availability, **overrides)
+    return FederationConfig(
+        mode=args.participation or "sync",
+        min_reports=args.min_reports,
+        max_wait_rounds=args.max_wait if args.max_wait is not None else 1,
+        staleness_policy=args.staleness_policy or "constant",
+        availability=availability,
+    )
+
+
+def _add_federation_args(parser) -> None:
+    group = parser.add_argument_group(
+        "participation", "asynchronous federation and client availability")
+    group.add_argument("--participation", default=None,
+                       choices=PARTICIPATION_MODES,
+                       help="round regime: sync blocks on the surviving "
+                            "cohort, buffered fires on --min-reports/"
+                            "--max-wait, async aggregates whatever arrived")
+    group.add_argument("--scenario", default=None, choices=SCENARIOS,
+                       help="named availability preset (see README matrix)")
+    group.add_argument("--dropout", type=float, default=None,
+                       help="per-(party, round) report-loss probability")
+    group.add_argument("--straggler", type=float, default=None,
+                       help="probability a report arrives rounds late "
+                            "(heavy-tailed delay)")
+    group.add_argument("--outage", type=float, default=None,
+                       help="per-round probability a correlated outage starts")
+    group.add_argument("--min-reports", type=int, default=None,
+                       help="buffered: aggregate once this many reports are "
+                            "in (default: the cohort size)")
+    group.add_argument("--max-wait", type=int, default=None,
+                       help="buffered: force aggregation after the oldest "
+                            "report waited this many rounds (default 1)")
+    group.add_argument("--staleness-policy", default=None,
+                       choices=STALENESS_POLICIES,
+                       help="decay on late reports' weights "
+                            "(default constant = plain FedAvg)")
+
+
 def cmd_compare(args) -> int:
     methods = tuple(args.methods) if args.methods else PAPER_METHODS
     available = strategy_names()
@@ -111,8 +177,10 @@ def cmd_compare(args) -> int:
           flush=True)
     callbacks = (ProgressLogger(),) if args.progress else ()
     try:
+        federation = _federation_from_args(args)
         plan = ExperimentPlan.build(args.dataset, methods, seeds=seeds,
-                                    profile=args.profile, dtype=args.dtype)
+                                    profile=args.profile, dtype=args.dtype,
+                                    federation=federation)
         result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
     except (ValueError, KeyError) as exc:
         print(str(exc).strip("'\""), file=sys.stderr)
@@ -192,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print per-window progress lines")
     p_compare.add_argument("--output-dir", default=None,
                            help="write per-run JSON results here")
+    _add_federation_args(p_compare)
     p_compare.set_defaults(func=cmd_compare)
 
     p_run = subparsers.add_parser(

@@ -47,6 +47,7 @@ class FedAvgStrategy(ContinualStrategy):
         new_params, _stats = run_fl_round(
             ctx.parties, participants, self.global_params, config,
             round_tag=(window, round_index),
+            engine=ctx.federation, stream="global",
         )
         self._global = new_params
         num_params = sum(p.size for p in new_params)

@@ -146,6 +146,7 @@ class FedDriftStrategy(ContinualStrategy):
             new_params, _stats = run_fl_round(
                 ctx.parties, participants, self._models[mid],
                 ctx.round_config, round_tag=(window, round_index, mid),
+                engine=ctx.federation, stream=("model", mid),
             )
             self._models[mid] = new_params
             num_params = sum(p.size for p in new_params)

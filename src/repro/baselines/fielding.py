@@ -121,6 +121,7 @@ class FieldingStrategy(ContinualStrategy):
             new_params, _stats = run_fl_round(
                 ctx.parties, participants, self._cluster_models[cluster_id],
                 ctx.round_config, round_tag=(window, round_index, cluster_id),
+                engine=ctx.federation, stream=("cluster", cluster_id),
             )
             self._cluster_models[cluster_id] = new_params
             num_params = sum(p.size for p in new_params)

@@ -98,19 +98,20 @@ class OortStrategy(ContinualStrategy):
         participants = self._select(window, round_index)
         config = replace(ctx.round_config,
                          local=replace(ctx.round_config.local, prox_mu=0.0))
-        # Collect per-party losses for utility updates.
-        losses: dict[int, tuple[float, int]] = {}
-        updates = []
         for pid in participants:
-            update = ctx.parties[pid].local_train(
-                self.global_params, config.local, round_tag=(window, round_index)
-            )
-            updates.append(update)
-            losses[pid] = (update.mean_loss, update.num_samples)
             self._times_selected[pid] += 1
-        from repro.federation.aggregation import fedavg
-        self._global = fedavg(updates)
-        self._update_utilities(losses)
+        new_params, stats = run_fl_round(
+            ctx.parties, participants, self.global_params, config,
+            round_tag=(window, round_index),
+            engine=ctx.federation, stream="global",
+        )
+        self._global = new_params
+        # Utilities update from training-time losses (what the device itself
+        # observed), so the selector keeps learning about parties whose
+        # reports are still in flight under buffered/async participation.
+        # Dropped parties never train, so their utilities stay unchanged.
+        self._update_utilities({pid: (loss, stats.samples[pid])
+                                for pid, loss in stats.mean_losses.items()})
         num_params = sum(p.size for p in self._global)
         ctx.ledger.record_model_download(num_params, len(participants))
         ctx.ledger.record_model_upload(num_params, len(participants))

@@ -360,6 +360,7 @@ class ShiftExStrategy(ContinualStrategy):
             new_params, stats = run_fl_round(
                 ctx.parties, participants, expert.params, ctx.round_config,
                 round_tag=(window, round_index, eid),
+                engine=ctx.federation, stream=("expert", eid),
             )
             expert.set_params(new_params)
             expert.train_rounds += 1
@@ -382,6 +383,7 @@ class ShiftExStrategy(ContinualStrategy):
         new_params, stats = run_fl_round(
             ctx.parties, participants, expert0.params, ctx.round_config,
             round_tag=(window, round_index),
+            engine=ctx.federation, stream=("expert", expert0.expert_id),
         )
         expert0.set_params(new_params)
         expert0.train_rounds += 1

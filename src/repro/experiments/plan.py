@@ -25,6 +25,7 @@ from repro.data.registry import DatasetSpec
 from repro.experiments.executors import SerialExecutor
 from repro.experiments.registry import build_strategy
 from repro.experiments.results import ComparisonResult
+from repro.federation.async_engine import FederationConfig
 from repro.federation.rounds import RoundConfig
 from repro.harness.profiles import RunSettings, get_profile
 from repro.nn.training import LocalTrainingConfig
@@ -89,6 +90,11 @@ class ExperimentPlan:
     ``dtype`` declares the run's model precision (``"float32"`` /
     ``"float64"``) on top of whatever the profile settings say — precision
     is part of the experiment spec and serializes with the plan.
+
+    ``federation`` likewise declares the participation regime (sync /
+    buffered / async plus an availability scenario); it overrides the
+    profile settings' federation config and serializes with the plan, so a
+    dropout study is a checked-in file.
     """
 
     dataset: str
@@ -99,6 +105,7 @@ class ExperimentPlan:
     settings_override: RunSettings | None = None
     name: str = ""
     dtype: str | None = None
+    federation: FederationConfig | None = None
 
     def __post_init__(self) -> None:
         self.strategies = tuple(self.strategies)
@@ -110,6 +117,9 @@ class ExperimentPlan:
         if self.dtype is not None:
             from repro.utils.params import resolve_dtype
             self.dtype = str(resolve_dtype(self.dtype))
+        if self.federation is not None and not isinstance(self.federation,
+                                                          FederationConfig):
+            self.federation = FederationConfig.from_dict(self.federation)
         labels = [s.label for s in self.strategies]
         dupes = {l for l in labels if labels.count(l) > 1}
         if dupes:
@@ -121,7 +131,8 @@ class ExperimentPlan:
     def build(cls, dataset: str, strategies, seeds: Iterable[int] = (0,),
               profile: str = "ci", spec_override: DatasetSpec | None = None,
               settings_override: RunSettings | None = None,
-              name: str = "", dtype: str | None = None) -> "ExperimentPlan":
+              name: str = "", dtype: str | None = None,
+              federation: FederationConfig | None = None) -> "ExperimentPlan":
         """Flexible constructor: strategies as names, mapping, or specs.
 
         ``strategies`` may be an iterable of names/StrategySpecs or a mapping
@@ -146,7 +157,7 @@ class ExperimentPlan:
                    seeds=tuple(seeds), profile=profile,
                    spec_override=spec_override,
                    settings_override=settings_override, name=name,
-                   dtype=dtype)
+                   dtype=dtype, federation=federation)
 
     # -------------------------------------------------------------- execution
 
@@ -170,6 +181,8 @@ class ExperimentPlan:
                 settings = self.settings_override
         if self.dtype is not None and settings.dtype != self.dtype:
             settings = dataclasses.replace(settings, dtype=self.dtype)
+        if self.federation is not None and settings.federation != self.federation:
+            settings = dataclasses.replace(settings, federation=self.federation)
         return spec, settings
 
     def run(self, executor=None, callbacks=()) -> ComparisonResult:
@@ -202,6 +215,8 @@ class ExperimentPlan:
         }
         if self.dtype is not None:
             out["dtype"] = self.dtype
+        if self.federation is not None:
+            out["federation"] = self.federation.to_dict()
         if self.spec_override is not None:
             out["spec_override"] = dataclasses.asdict(self.spec_override)
         if self.settings_override is not None:
@@ -233,6 +248,8 @@ class ExperimentPlan:
                                if settings_override is not None else None),
             name=data.get("name", ""),
             dtype=data.get("dtype"),
+            federation=(FederationConfig.from_dict(data["federation"])
+                        if data.get("federation") is not None else None),
         )
 
 
@@ -248,8 +265,12 @@ def _run_settings_from_dict(data: Mapping) -> RunSettings:
     data = dict(data)
     round_config = dict(data.pop("round_config", {}))
     local = LocalTrainingConfig(**round_config.pop("local", {}))
+    federation = data.pop("federation", None)
+    kwargs = dict(data)
+    if federation is not None:
+        kwargs["federation"] = FederationConfig.from_dict(federation)
     return RunSettings(round_config=RoundConfig(local=local, **round_config),
-                       **data)
+                       **kwargs)
 
 
 def save_plan(path: str | Path, plan: ExperimentPlan) -> Path:

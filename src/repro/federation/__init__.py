@@ -3,13 +3,31 @@
 This package is the Flower/PySyft stand-in: an in-process FL simulator with
 the same moving parts — parties that train locally and report updates, a
 weighted FedAvg aggregation rule (with optional FedProx proximal term in the
-local objective), per-round participant selection hooks, and communication /
-computation accounting.
+local objective), per-round participant selection hooks, communication /
+computation accounting, and an asynchronous federation engine (buffered
+staleness-weighted aggregation under simulated client availability).
 """
 
 from repro.federation.party import Party, LocalUpdate
-from repro.federation.aggregation import fedavg
+from repro.federation.aggregation import (
+    STALENESS_POLICIES,
+    fedavg,
+    staleness_decay,
+    staleness_weighted_fedavg,
+)
+from repro.federation.availability import (
+    AvailabilityConfig,
+    AvailabilitySimulator,
+    ReportFate,
+)
 from repro.federation.rounds import RoundConfig, RoundStats, run_fl_round
+from repro.federation.async_engine import (
+    PARTICIPATION_MODES,
+    AsyncRoundBuffer,
+    FederationConfig,
+    FederationEngine,
+    build_engine,
+)
 from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 
@@ -17,9 +35,20 @@ __all__ = [
     "Party",
     "LocalUpdate",
     "fedavg",
+    "STALENESS_POLICIES",
+    "staleness_decay",
+    "staleness_weighted_fedavg",
+    "AvailabilityConfig",
+    "AvailabilitySimulator",
+    "ReportFate",
     "RoundConfig",
     "RoundStats",
     "run_fl_round",
+    "PARTICIPATION_MODES",
+    "AsyncRoundBuffer",
+    "FederationConfig",
+    "FederationEngine",
+    "build_engine",
     "CommunicationLedger",
     "RuntimeProfiler",
     "ContinualStrategy",

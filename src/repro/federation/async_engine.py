@@ -1,0 +1,358 @@
+"""Buffered / asynchronous federation engine.
+
+The synchronous simulator assumes every dispatched party reports back within
+its round.  This module drops that assumption: parties train at dispatch time
+(on the then-current parameters) and their reports travel through the
+availability simulator — lost outright, or arriving rounds later — into a
+per-model :class:`AsyncRoundBuffer` of preallocated
+:class:`~repro.utils.params.ParamBank` rows tagged with their dispatch round.
+Aggregation fires when the mode's trigger condition holds and weights each
+report by ``num_samples * staleness_decay(age)``, so late reports count less
+under the ``polynomial`` / ``exponential`` policies (and exactly the same
+under ``constant``).
+
+Participation modes
+-------------------
+* ``sync``     — block for the full surviving cohort every round (dropped
+  reports are excluded, stragglers are awaited); with no availability knobs
+  this is bit-identical to :func:`~repro.federation.rounds.run_fl_round`
+  without an engine.
+* ``buffered`` — FedBuff-style: aggregate once ``min_reports`` reports are in
+  (default: the cohort size) or the oldest buffered report has waited
+  ``max_wait_rounds`` rounds; otherwise keep the parameters unchanged and
+  keep buffering.
+* ``async``    — aggregate whatever has arrived, every round.
+
+One engine serves a whole run: each global model / cluster / expert names its
+own ``stream``, so buffered reports never cross aggregation targets, and the
+harness advances the shared round clock once per (window, round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.federation.aggregation import STALENESS_POLICIES, staleness_decay
+from repro.federation.availability import (
+    AvailabilityConfig,
+    AvailabilitySimulator,
+)
+from repro.federation.party import Party
+from repro.federation.rounds import (
+    RoundConfig,
+    RoundStats,
+    _sync_round,
+    mean_finite_loss,
+    round_dtype,
+    train_cohort,
+)
+from repro.utils.params import ParamBank, ParamSpec, Params
+
+PARTICIPATION_MODES = ("sync", "buffered", "async")
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """How rounds aggregate and what availability scenario they run under.
+
+    Serialized with :class:`~repro.harness.profiles.RunSettings` and
+    :class:`~repro.experiments.plan.ExperimentPlan`, so a participation
+    scenario is part of the experiment spec.  ``min_reports=None`` means
+    "the dispatched cohort size", which makes ``buffered`` with no
+    availability knobs reproduce ``sync`` bitwise.
+    """
+
+    mode: str = "sync"
+    min_reports: int | None = None
+    max_wait_rounds: int = 1
+    staleness_policy: str = "constant"
+    staleness_alpha: float = 0.5
+    staleness_gamma: float = 0.5
+    availability: AvailabilityConfig = field(default_factory=AvailabilityConfig)
+
+    def __post_init__(self) -> None:
+        if self.mode not in PARTICIPATION_MODES:
+            raise ValueError(
+                f"mode must be one of {PARTICIPATION_MODES}; got '{self.mode}'")
+        if self.staleness_policy not in STALENESS_POLICIES:
+            raise ValueError(
+                f"staleness_policy must be one of {STALENESS_POLICIES}; "
+                f"got '{self.staleness_policy}'")
+        if self.min_reports is not None and self.min_reports < 1:
+            raise ValueError("min_reports must be positive when given")
+        if self.max_wait_rounds < 1:
+            raise ValueError("max_wait_rounds must be at least 1")
+
+    @property
+    def is_active(self) -> bool:
+        """True when rounds behave differently from the engine-less path."""
+        return self.mode != "sync" or self.availability.is_active
+
+    def to_dict(self) -> dict:
+        import dataclasses
+        out = dataclasses.asdict(self)
+        if self.min_reports is None:
+            del out["min_reports"]
+        return out
+
+    @classmethod
+    def from_dict(cls, data) -> "FederationConfig":
+        if isinstance(data, FederationConfig):
+            return data
+        data = dict(data)
+        availability = data.pop("availability", None)
+        if availability is not None and not isinstance(availability,
+                                                       AvailabilityConfig):
+            availability = AvailabilityConfig(**availability)
+        if availability is not None:
+            data["availability"] = availability
+        return cls(**data)
+
+
+@dataclass
+class _PendingReport:
+    """One in-flight update parked in a buffer row until it arrives."""
+
+    row: int
+    party_id: int
+    dispatch_tick: int
+    arrival_tick: int
+    num_samples: int
+    mean_loss: float
+
+
+class AsyncRoundBuffer:
+    """In-flight reports for one aggregation stream, rows in a ParamBank.
+
+    Parties write trained flat vectors straight into preallocated bank rows
+    (the same zero-copy path the sync round uses); each row is tagged with
+    its dispatch round so aggregation can weight by staleness.  Rows are
+    released back to the bank as soon as their report is aggregated or
+    expired.
+    """
+
+    def __init__(self, spec: ParamSpec, dtype=None, capacity: int = 4) -> None:
+        self.bank = ParamBank(spec, dtype=dtype, capacity=capacity)
+        self._pending: list[_PendingReport] = []
+
+    @property
+    def spec(self) -> ParamSpec:
+        return self.bank.spec
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def push(self, report: _PendingReport) -> None:
+        self._pending.append(report)
+
+    def ready(self, tick: int) -> list[_PendingReport]:
+        """Arrived reports in dispatch order (stable across runs)."""
+        return [r for r in self._pending if r.arrival_tick <= tick]
+
+    def oldest_ready_age(self, tick: int) -> int:
+        ready = self.ready(tick)
+        if not ready:
+            return 0
+        return tick - min(r.dispatch_tick for r in ready)
+
+    def pop(self, reports: list[_PendingReport]) -> None:
+        """Remove aggregated reports and recycle their bank rows."""
+        taken = set(id(r) for r in reports)
+        for report in reports:
+            self.bank.release(report.row)
+        self._pending = [r for r in self._pending if id(r) not in taken]
+
+    def flush(self) -> int:
+        """Drop every in-flight report (window boundary); returns the count."""
+        count = len(self._pending)
+        for report in self._pending:
+            self.bank.release(report.row)
+        self._pending = []
+        return count
+
+
+class FederationEngine:
+    """Shared round clock + availability + per-stream buffered aggregation.
+
+    The harness (or a test) drives the clock: :meth:`advance` once per
+    federated round, :meth:`begin_window` at window boundaries (in-flight
+    reports are dropped there — parties re-train on the new window's data
+    anyway, and experts/clusters may not survive the boundary).  Strategies
+    stay oblivious: they call ``run_fl_round(..., engine=..., stream=...)``
+    exactly where they called the synchronous version.
+    """
+
+    def __init__(self, config: FederationConfig, seed: int = 0,
+                 num_parties: int | None = None) -> None:
+        self.config = config
+        self.seed = seed
+        self.simulator = AvailabilitySimulator(config.availability, seed,
+                                               num_parties)
+        self.clock = -1  # advance() before the first round makes this 0
+        self._buffers: dict[object, AsyncRoundBuffer] = {}
+        self.counters = {
+            "rounds": 0, "dispatched": 0, "dropped": 0, "delayed": 0,
+            "aggregations": 0, "aggregated_reports": 0, "skipped_rounds": 0,
+            "expired_reports": 0, "staleness_total": 0,
+        }
+
+    # ------------------------------------------------------------------ clock
+
+    def advance(self, round_tag: object = None) -> int:
+        """Start the next federated round; returns the new tick."""
+        self.clock += 1
+        self.counters["rounds"] += 1
+        return self.clock
+
+    def begin_window(self, window: int) -> int:
+        """Flush every stream at a window boundary; returns reports dropped."""
+        expired = sum(buf.flush() for buf in self._buffers.values())
+        self.counters["expired_reports"] += expired
+        return expired
+
+    @property
+    def in_flight(self) -> int:
+        return sum(buf.in_flight for buf in self._buffers.values())
+
+    def summary(self) -> dict:
+        """Deterministic run-level counters (lands in result extras)."""
+        out = {"mode": self.config.mode, **self.counters}
+        agg = self.counters["aggregated_reports"]
+        out["mean_staleness"] = (
+            self.counters["staleness_total"] / agg if agg else 0.0)
+        out["in_flight_at_end"] = self.in_flight
+        return out
+
+    # ------------------------------------------------------------------ rounds
+
+    def _buffer_for(self, stream: object, spec: ParamSpec, dtype,
+                    capacity: int) -> AsyncRoundBuffer:
+        buf = self._buffers.get(stream)
+        if buf is not None and (buf.spec != spec
+                                or buf.bank.dtype != np.dtype(dtype)):
+            # The stream's model changed shape (e.g. a rebuilt expert) or
+            # precision; whatever was in flight can no longer be aggregated
+            # into it.
+            self.counters["expired_reports"] += buf.flush()
+            buf = None
+        if buf is None:
+            buf = AsyncRoundBuffer(spec, dtype=dtype, capacity=capacity)
+            self._buffers[stream] = buf
+        return buf
+
+    def _should_aggregate(self, buf: AsyncRoundBuffer, tick: int,
+                          cohort_size: int) -> bool:
+        ready = buf.ready(tick)
+        if not ready:
+            return False
+        if self.config.mode == "async":
+            return True
+        min_reports = self.config.min_reports
+        if min_reports is None:
+            min_reports = cohort_size
+        if len(ready) >= min_reports:
+            return True
+        return buf.oldest_ready_age(tick) >= self.config.max_wait_rounds
+
+    def run_round(self, parties: dict[int, Party], participant_ids: list[int],
+                  params: Params, config: RoundConfig, round_tag: object = 0,
+                  stream: object = "default", dtype=None,
+                  ) -> tuple[Params, RoundStats]:
+        """One engine-mediated round (called via ``run_fl_round``)."""
+        if self.clock < 0:
+            raise RuntimeError(
+                "FederationEngine.advance() must be called before the first "
+                "round (the harness does this once per federated round)")
+        tick = self.clock
+        fates = self.simulator.cohort_fates(list(participant_ids), tick)
+        alive = [f for f in fates if not f.dropped]
+        dropped = [f.party_id for f in fates if f.dropped]
+        self.counters["dispatched"] += len(participant_ids)
+        self.counters["dropped"] += len(dropped)
+
+        if self.config.mode == "sync":
+            return self._run_sync(parties, alive, dropped, participant_ids,
+                                  params, config, round_tag, dtype)
+
+        spec = ParamSpec.of(params)
+        bank_dtype = round_dtype(parties, list(participant_ids), params, dtype)
+        buf = self._buffer_for(stream, spec, bank_dtype,
+                               capacity=max(len(participant_ids), 1))
+        alive_ids = [f.party_id for f in alive]
+        rows, updates = train_cohort(parties, alive_ids, params, config,
+                                     round_tag, buf.bank)
+        for fate, row, update in zip(alive, rows, updates):
+            if update.num_samples <= 0:
+                buf.bank.release(row)  # an empty report carries nothing
+                continue
+            if fate.delay > 0:
+                self.counters["delayed"] += 1
+            buf.push(_PendingReport(
+                row=row, party_id=update.party_id, dispatch_tick=tick,
+                arrival_tick=tick + fate.delay,
+                num_samples=update.num_samples, mean_loss=update.mean_loss,
+            ))
+
+        stats = RoundStats(
+            participants=list(participant_ids),
+            mean_train_loss=mean_finite_loss(updates),
+            total_samples=int(sum(u.num_samples for u in updates)),
+            dropped=dropped,
+            mean_losses={u.party_id: u.mean_loss for u in updates},
+            samples={u.party_id: u.num_samples for u in updates},
+            aggregated=False,
+        )
+        if not self._should_aggregate(buf, tick, len(participant_ids)):
+            self.counters["skipped_rounds"] += 1
+            return params, stats
+
+        ready = buf.ready(tick)
+        ages = [tick - r.dispatch_tick for r in ready]
+        decay = staleness_decay(ages, self.config.staleness_policy,
+                                self.config.staleness_alpha,
+                                self.config.staleness_gamma)
+        weights = np.array([float(r.num_samples) for r in ready]) * decay
+        new_params = spec.view(buf.bank.weighted_combine(
+            weights, [r.row for r in ready]))
+        stats.aggregated = True
+        stats.reported = [r.party_id for r in ready]
+        stats.staleness = {r.party_id: age for r, age in zip(ready, ages)}
+        self.counters["aggregations"] += 1
+        self.counters["aggregated_reports"] += len(ready)
+        self.counters["staleness_total"] += int(sum(ages))
+        buf.pop(ready)
+        return new_params, stats
+
+    def _run_sync(self, parties, alive, dropped, participant_ids, params,
+                  config, round_tag, dtype) -> tuple[Params, RoundStats]:
+        """Blocking mode: full surviving cohort, stragglers awaited."""
+        alive_ids = [f.party_id for f in alive]
+        if not alive_ids:
+            self.counters["skipped_rounds"] += 1
+            return params, RoundStats(
+                participants=list(participant_ids),
+                mean_train_loss=float("nan"), total_samples=0,
+                dropped=dropped, aggregated=False,
+            )
+        new_params, stats = _sync_round(parties, alive_ids, params, config,
+                                        round_tag, dtype=dtype)
+        stats.participants = list(participant_ids)
+        stats.dropped = dropped
+        self.counters["aggregations"] += 1
+        self.counters["aggregated_reports"] += len(stats.reported)
+        return new_params, stats
+
+
+def build_engine(config: FederationConfig, seed: int = 0,
+                 num_parties: int | None = None) -> FederationEngine | None:
+    """An engine when the config changes behavior, else None (pure sync).
+
+    Returning None keeps default runs on the engine-less fast path, which is
+    the seed-reproduction code path byte for byte.
+    """
+    if not config.is_active:
+        return None
+    return FederationEngine(config, seed=seed, num_parties=num_parties)

@@ -65,6 +65,11 @@ class Party:
     def num_train_samples(self) -> int:
         return self.data.num_train
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The bound model precision — what round banks must allocate at."""
+        return self._model.dtype
+
     def label_histogram(self) -> np.ndarray:
         """Normalized train-label histogram (reported to the aggregator)."""
         return self.data.label_histogram(self.num_classes)

@@ -5,6 +5,13 @@ Cohort updates land directly in a round-local
 vector into one bank row — so FedAvg is a single weighted ``w @ M``
 matrix-vector product over the stacked updates, with no per-update
 re-flattening or Python-level accumulation loops.
+
+Participation modes: with no ``engine`` the round is fully synchronous (every
+participant trains and reports).  Passing a
+:class:`~repro.federation.async_engine.FederationEngine` routes the round
+through its availability simulator and buffered/async aggregation logic —
+dropped reports vanish, stragglers arrive rounds later, and aggregation fires
+on ``min_reports``/``max_wait_rounds`` instead of blocking on the cohort.
 """
 
 from __future__ import annotations
@@ -32,27 +39,60 @@ class RoundConfig:
 
 @dataclass
 class RoundStats:
-    """Bookkeeping emitted by one round."""
+    """Bookkeeping emitted by one round.
+
+    ``participants`` is the dispatched cohort; under an async engine the
+    extra fields record what actually happened: which parties' reports
+    entered this round's aggregate (``reported``, one entry per report, so a
+    party can appear twice), which dispatches were lost (``dropped``), and
+    per-party training loss/sample counts for the parties that trained this
+    call (``mean_losses`` / ``samples`` — selection policies like OORT feed
+    on these).  ``staleness`` maps each reporting party to the age in rounds
+    of its *latest* aggregated report (per-report ages are folded into the
+    engine's ``staleness_total`` counter).  ``aggregated`` is False when the
+    engine decided to keep buffering instead of producing new parameters.
+    """
 
     participants: list[int]
     mean_train_loss: float
     total_samples: int
+    reported: list[int] = field(default_factory=list)
+    dropped: list[int] = field(default_factory=list)
+    staleness: dict[int, int] = field(default_factory=dict)
+    mean_losses: dict[int, float] = field(default_factory=dict)
+    samples: dict[int, int] = field(default_factory=dict)
+    aggregated: bool = True
 
 
-def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
-                 params: Params, config: RoundConfig,
-                 round_tag: object = 0) -> tuple[Params, RoundStats]:
-    """Train ``params`` for one round over the given participants.
+def round_dtype(parties: dict[int, Party], participant_ids: list[int],
+                params: Params, dtype=None) -> np.dtype:
+    """The round bank's dtype: the cohort's bound model precision.
 
-    Returns the FedAvg-aggregated parameters and round statistics.  The
-    caller owns participant selection (uniform, OORT, FLIPS, ...) so every
-    strategy can reuse this loop.
+    Falls back to ``np.result_type`` over the incoming parameter list only
+    when no participant exposes a model dtype.  Preferring the bound model
+    dtype keeps a float32 run's bank at float32 even when a strategy hands
+    over float64 parameters (e.g. a fresh ``weighted_average`` of plain
+    lists), which previously upcast the whole aggregation path silently.
     """
-    if not participant_ids:
-        raise ValueError("cannot run a round with no participants")
-    spec = ParamSpec.of(params)
-    dtype = np.result_type(*(p.dtype for p in params)) if params else np.float64
-    bank = ParamBank(spec, dtype=dtype, capacity=len(participant_ids))
+    if dtype is not None:
+        return np.dtype(dtype)
+    for pid in participant_ids:
+        model_dtype = getattr(parties.get(pid), "dtype", None)
+        if model_dtype is not None:
+            return np.dtype(model_dtype)
+    if params:
+        return np.result_type(*(p.dtype for p in params))
+    return np.dtype(np.float64)
+
+
+def train_cohort(parties: dict[int, Party], participant_ids: list[int],
+                 params: Params, config: RoundConfig, round_tag: object,
+                 bank: ParamBank) -> tuple[list[int], list]:
+    """Train every participant, landing each update in a fresh bank row.
+
+    Returns ``(rows, updates)`` aligned with ``participant_ids``.  Shared by
+    the synchronous path and the async engine so both train identically.
+    """
     rows: list[int] = []
     updates = []
     for party_id in participant_ids:
@@ -62,6 +102,23 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
         rows.append(row)
         updates.append(parties[party_id].local_train(
             params, config.local, round_tag, out_flat=bank.row(row)))
+    return rows, updates
+
+
+def mean_finite_loss(updates) -> float:
+    losses = [u.mean_loss for u in updates if np.isfinite(u.mean_loss)]
+    return float(np.mean(losses)) if losses else float("nan")
+
+
+def _sync_round(parties: dict[int, Party], participant_ids: list[int],
+                params: Params, config: RoundConfig, round_tag: object,
+                dtype=None) -> tuple[Params, RoundStats]:
+    spec = ParamSpec.of(params)
+    bank = ParamBank(spec, dtype=round_dtype(parties, participant_ids, params,
+                                             dtype),
+                     capacity=len(participant_ids))
+    rows, updates = train_cohort(parties, participant_ids, params, config,
+                                 round_tag, bank)
     weights = np.array([float(u.num_samples) for u in updates])
     usable = weights > 0
     if not usable.any():
@@ -71,10 +128,40 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
         )
     new_params = spec.view(bank.weighted_combine(
         weights[usable], [r for r, ok in zip(rows, usable) if ok]))
-    losses = [u.mean_loss for u in updates if np.isfinite(u.mean_loss)]
     stats = RoundStats(
         participants=list(participant_ids),
-        mean_train_loss=float(np.mean(losses)) if losses else float("nan"),
+        mean_train_loss=mean_finite_loss(updates),
         total_samples=int(sum(u.num_samples for u in updates)),
+        reported=[u.party_id for u, ok in zip(updates, usable) if ok],
+        staleness={u.party_id: 0 for u, ok in zip(updates, usable) if ok},
+        mean_losses={u.party_id: u.mean_loss for u in updates},
+        samples={u.party_id: u.num_samples for u in updates},
     )
     return new_params, stats
+
+
+def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
+                 params: Params, config: RoundConfig,
+                 round_tag: object = 0, engine=None,
+                 stream: object = "default",
+                 dtype=None) -> tuple[Params, RoundStats]:
+    """Train ``params`` for one round over the given participants.
+
+    Returns the FedAvg-aggregated parameters and round statistics.  The
+    caller owns participant selection (uniform, OORT, FLIPS, ...) so every
+    strategy can reuse this loop.
+
+    ``engine`` (a :class:`~repro.federation.async_engine.FederationEngine`)
+    switches the round to simulated-availability participation; ``stream``
+    then names the aggregation target (one buffer per global model / cluster
+    / expert) so buffered reports never cross models.  ``dtype`` overrides
+    the round bank precision (default: the cohort's bound model dtype).
+    """
+    if not participant_ids:
+        raise ValueError("cannot run a round with no participants")
+    if engine is not None:
+        return engine.run_round(parties, participant_ids, params, config,
+                                round_tag=round_tag, stream=stream,
+                                dtype=dtype)
+    return _sync_round(parties, participant_ids, params, config, round_tag,
+                       dtype=dtype)

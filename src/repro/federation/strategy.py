@@ -20,9 +20,12 @@ story (Section 3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: async_engine -> rounds -> party only
+    from repro.federation.async_engine import FederationEngine
 
 from repro.data.registry import DatasetSpec
 from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
@@ -35,7 +38,13 @@ from repro.utils.rng import spawn_rng
 
 @dataclass
 class StrategyContext:
-    """Everything a strategy needs from the environment."""
+    """Everything a strategy needs from the environment.
+
+    ``federation`` is the run's participation engine (None = pure synchronous
+    rounds).  Strategies pass it to ``run_fl_round`` together with a
+    ``stream`` key naming the aggregation target, so buffered reports for one
+    cluster/expert never leak into another.
+    """
 
     spec: DatasetSpec
     parties: dict[int, Party]
@@ -45,6 +54,7 @@ class StrategyContext:
     reference_embedding_source: Callable[[], np.ndarray] | None = None
     ledger: CommunicationLedger = field(default_factory=CommunicationLedger)
     profiler: RuntimeProfiler = field(default_factory=RuntimeProfiler)
+    federation: "FederationEngine | None" = None
 
     def rng(self, *labels: object) -> np.random.Generator:
         return spawn_rng(self.seed, *labels)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.data.registry import DatasetSpec, get_dataset_spec
+from repro.federation.async_engine import FederationConfig
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
 from repro.utils.params import resolve_dtype
@@ -24,6 +25,11 @@ class RunSettings:
     seed reproduction's calibrated detection thresholds were tuned at full
     precision (flip it per run/plan via the declarative knob once thresholds
     are recalibrated).
+
+    ``federation`` selects the participation regime: synchronous full-cohort
+    rounds (the default, engine-less fast path) or ``buffered``/``async``
+    staleness-weighted aggregation under a simulated availability scenario
+    (see :class:`~repro.federation.async_engine.FederationConfig`).
     """
 
     rounds_burn_in: int = 6
@@ -31,6 +37,7 @@ class RunSettings:
     round_config: RoundConfig = field(default_factory=RoundConfig)
     eval_parties: int | None = None  # None = evaluate every party
     dtype: str = "float64"
+    federation: FederationConfig = field(default_factory=FederationConfig)
 
     def __post_init__(self) -> None:
         if self.rounds_burn_in <= 0 or self.rounds_per_window <= 0:
@@ -38,6 +45,8 @@ class RunSettings:
         if self.eval_parties is not None and self.eval_parties <= 0:
             raise ValueError("eval_parties must be positive when given")
         self.dtype = str(resolve_dtype(self.dtype))
+        if not isinstance(self.federation, FederationConfig):
+            self.federation = FederationConfig.from_dict(self.federation)
 
     @property
     def np_dtype(self) -> np.dtype:

@@ -17,6 +17,7 @@ import numpy as np
 from repro.data.federated import FederatedShiftDataset
 from repro.data.registry import DatasetSpec
 from repro.experiments.events import RunCallback, RunInfo, first_stop_reason
+from repro.federation.async_engine import build_engine
 from repro.federation.party import Party
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 from repro.harness.profiles import RunSettings
@@ -83,12 +84,17 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         return build_model(spec.model_name, spec.input_shape, spec.num_classes,
                            spawn_rng(seed, "global-model-init"), dtype=dtype)
 
+    # None unless the run's federation config changes behavior — the default
+    # stays on the engine-less synchronous path byte for byte.
+    engine = build_engine(settings.federation, seed=seed,
+                          num_parties=spec.num_parties)
     ctx = StrategyContext(
         spec=spec,
         parties=parties,
         model_factory=model_factory,
         round_config=settings.round_config,
         seed=seed,
+        federation=engine,
     )
     strategy.setup(ctx)
 
@@ -128,9 +134,13 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     for window in range(spec.num_windows):
         for pid in range(spec.num_parties):
             parties[pid].set_window_data(ds.party_window(pid, window))
+        if engine is not None:
+            engine.begin_window(window)
         strategy.start_window(window)
         series = [mean_accuracy_pct()]
         for round_index in range(settings.rounds_for_window(window)):
+            if engine is not None:
+                engine.advance((window, round_index))
             strategy.run_round(window, round_index)
             accuracy = mean_accuracy_pct()
             series.append(accuracy)
@@ -168,6 +178,8 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         ledger_summary=ctx.ledger.summary(),
         profiler_summary=ctx.profiler.summary(),
     )
+    if engine is not None:
+        result.extras["federation"] = engine.summary()
     if stop_reason is not None:
         result.extras.update(
             stopped_early=True,

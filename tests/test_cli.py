@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import _federation_from_args, build_parser, main
 from repro.experiments import ExperimentPlan, save_plan
 from tests.conftest import make_run_settings, make_tiny_spec
 
@@ -84,3 +84,39 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFederationFlags:
+    def parse(self, *extra):
+        return build_parser().parse_args(["compare", "cifar10_c_sim", *extra])
+
+    def test_no_flags_means_no_override(self):
+        assert _federation_from_args(self.parse()) is None
+
+    def test_participation_and_scenario_compose(self):
+        cfg = _federation_from_args(self.parse(
+            "--participation", "buffered", "--scenario", "dropout30",
+            "--straggler", "0.1", "--min-reports", "4", "--max-wait", "3",
+            "--staleness-policy", "exponential"))
+        assert cfg.mode == "buffered"
+        assert cfg.min_reports == 4
+        assert cfg.max_wait_rounds == 3
+        assert cfg.staleness_policy == "exponential"
+        assert cfg.availability.dropout_prob == 0.3  # from the preset
+        assert cfg.availability.straggler_prob == 0.1  # explicit override
+
+    def test_dropout_alone_keeps_sync_mode(self):
+        cfg = _federation_from_args(self.parse("--dropout", "0.25"))
+        assert cfg.mode == "sync"
+        assert cfg.availability.dropout_prob == 0.25
+        assert cfg.is_active
+
+    def test_invalid_participation_rejected(self):
+        with pytest.raises(SystemExit):
+            self.parse("--participation", "lazy")
+
+    def test_invalid_dropout_value_reported(self, capsys):
+        rc = main(["compare", "cifar10_c_sim", "--methods", "fedavg",
+                   "--dropout", "1.5"])
+        assert rc == 2
+        assert "dropout_prob" in capsys.readouterr().err

@@ -1,0 +1,244 @@
+"""Differential tests: every aggregation path must agree with every other.
+
+The repo now has four ways to average a cohort of updates — the list-based
+``fedavg``, the bank-resident ``weighted_combine`` kernel, the
+staleness-weighted async path, and ``SecureAggregationSession``'s masked sum
+— plus the rule that ``buffered``/``async`` participation with no
+availability perturbation must reproduce ``sync`` *bitwise*.  These tests pin
+all of them to each other over random shapes, weights, and dtypes, so a
+refactor of any one path cannot silently drift.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.federated import FederatedShiftDataset
+from repro.experiments.registry import build_strategy
+from repro.federation.aggregation import (
+    fedavg,
+    staleness_decay,
+    staleness_weighted_fedavg,
+)
+from repro.federation.async_engine import FederationConfig, FederationEngine
+from repro.federation.availability import AvailabilityConfig
+from repro.federation.party import LocalUpdate
+from repro.federation.rounds import run_fl_round
+from repro.harness.runner import run_strategy
+from repro.nn.models import build_model
+from repro.privacy.secure_aggregation import SecureAggregationSession
+from repro.utils.params import ParamBank, flatten_params
+from repro.utils.rng import spawn_rng
+from repro.utils.serialization import run_result_to_dict
+from tests.conftest import make_context, make_run_settings, make_tiny_spec
+
+
+@st.composite
+def cohort_updates(draw):
+    """A random cohort: shapes, per-party values, sample weights, dtype."""
+    n_tensors = draw(st.integers(1, 3))
+    shapes = [
+        tuple(draw(st.lists(st.integers(1, 4), min_size=0, max_size=2)))
+        for _ in range(n_tensors)
+    ]
+    n_parties = draw(st.integers(1, 5))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    value_seed = draw(st.integers(0, 2**16))
+    weights = draw(st.lists(st.integers(1, 50), min_size=n_parties,
+                            max_size=n_parties))
+    rng = spawn_rng(value_seed, "differential")
+    updates = [
+        LocalUpdate(
+            party_id=pid,
+            params=[rng.normal(size=shape).astype(dtype) for shape in shapes],
+            num_samples=weights[pid],
+            mean_loss=1.0,
+        )
+        for pid in range(n_parties)
+    ]
+    return updates, dtype
+
+
+class TestAggregationPathsAgree:
+    @given(cohort_updates())
+    @settings(max_examples=60, deadline=None)
+    def test_fedavg_matches_bank_combine(self, case):
+        updates, dtype = case
+        expected = flatten_params(fedavg(updates))
+        bank = ParamBank.from_param_sets([u.params for u in updates],
+                                         dtype=dtype)
+        got = bank.weighted_combine([float(u.num_samples) for u in updates],
+                                    rows=list(range(len(updates))))
+        tol = 1e-5 if dtype == np.float32 else 1e-12
+        np.testing.assert_allclose(got, expected, rtol=tol, atol=tol)
+
+    @given(cohort_updates())
+    @settings(max_examples=60, deadline=None)
+    def test_zero_staleness_is_bitwise_fedavg(self, case):
+        updates, _dtype = case
+        plain = flatten_params(fedavg(updates))
+        stale = flatten_params(
+            staleness_weighted_fedavg(updates, [0] * len(updates),
+                                      policy="exponential", gamma=0.25))
+        assert np.array_equal(stale, plain)
+
+    @given(cohort_updates())
+    @settings(max_examples=40, deadline=None)
+    def test_staleness_path_matches_manual_weights(self, case):
+        updates, dtype = case
+        ages = [i % 3 for i in range(len(updates))]
+        got = flatten_params(staleness_weighted_fedavg(
+            updates, ages, policy="polynomial", alpha=0.7))
+        decay = staleness_decay(ages, "polynomial", alpha=0.7)
+        weights = np.array([float(u.num_samples) for u in updates]) * decay
+        bank = ParamBank.from_param_sets([u.params for u in updates],
+                                         dtype=dtype)
+        manual = bank.weighted_combine(weights, rows=list(range(len(updates))))
+        tol = 1e-5 if dtype == np.float32 else 1e-12
+        np.testing.assert_allclose(got, manual, rtol=tol, atol=tol)
+
+    @given(cohort_updates())
+    @settings(max_examples=30, deadline=None)
+    def test_secure_aggregation_matches_uniform_fedavg(self, case):
+        updates, _dtype = case
+        # The masked sum is an unweighted mean, so pin it against fedavg
+        # with every party reporting the same sample count.
+        uniform = [dataclasses.replace(u, num_samples=7) for u in updates]
+        expected = flatten_params(fedavg(uniform))
+        shapes = [tuple(p.shape) for p in updates[0].params]
+        session = SecureAggregationSession(
+            [u.party_id for u in updates], shapes, shared_seed=11)
+        for u in updates:
+            session.submit(u.party_id, [np.asarray(p, dtype=np.float64)
+                                        for p in u.params])
+        got = flatten_params(session.aggregate())
+        # Pairwise masks are O(1)-magnitude normals that must cancel; the
+        # residual is float cancellation noise, not systematic error.
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-8)
+
+
+class TestStalenessDecay:
+    def test_age_zero_is_exactly_one(self):
+        for policy in ("constant", "polynomial", "exponential"):
+            assert staleness_decay([0], policy)[0] == 1.0
+
+    def test_monotone_nonincreasing(self):
+        ages = np.arange(6)
+        for policy, kwargs in (("polynomial", {"alpha": 0.5}),
+                               ("exponential", {"gamma": 0.5})):
+            decay = staleness_decay(ages, policy, **kwargs)
+            assert np.all(np.diff(decay) < 0)
+
+    def test_constant_ignores_age(self):
+        assert np.array_equal(staleness_decay([0, 3, 9], "constant"),
+                              np.ones(3))
+
+    def test_rejects_negative_age_and_unknown_policy(self):
+        with pytest.raises(ValueError):
+            staleness_decay([-1], "polynomial")
+        with pytest.raises(KeyError):
+            staleness_decay([1], "linear")
+
+
+class TestRoundDtype:
+    """The round bank must honor the cohort's bound model precision."""
+
+    def _float32_context(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        for pid, party in ctx.parties.items():
+            model = build_model(tiny_spec.model_name, tiny_spec.input_shape,
+                                tiny_spec.num_classes,
+                                spawn_rng(0, "party-model", pid),
+                                dtype=np.float32)
+            party._model = model
+        return ctx
+
+    def test_float32_model_keeps_float32_bank(self, tiny_spec, tiny_dataset):
+        ctx = self._float32_context(tiny_spec, tiny_dataset)
+        # A strategy handing over float64 params (e.g. a fresh
+        # weighted_average of plain lists) must not upcast the round.
+        params64 = [np.asarray(p, dtype=np.float64)
+                    for p in ctx.parties[0]._model.get_params()]
+        new_params, _ = run_fl_round(ctx.parties, [0, 1, 2], params64,
+                                     ctx.round_config)
+        assert all(p.dtype == np.float32 for p in new_params)
+
+    def test_explicit_dtype_overrides(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        params = ctx.model_factory().get_params()
+        new_params, _ = run_fl_round(ctx.parties, [0, 1], params,
+                                     ctx.round_config, dtype=np.float32)
+        assert all(p.dtype == np.float32 for p in new_params)
+
+    def test_float64_default_unchanged(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        params = ctx.model_factory().get_params()
+        new_params, _ = run_fl_round(ctx.parties, [0, 1], params,
+                                     ctx.round_config)
+        assert all(p.dtype == np.float64 for p in new_params)
+
+
+def _quiet_engine(mode, **avail) -> FederationEngine:
+    return FederationEngine(
+        FederationConfig(mode=mode,
+                         availability=AvailabilityConfig(**avail)),
+        seed=0, num_parties=8)
+
+
+class TestAsyncSyncEquivalence:
+    def test_round_level_bitwise(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        params = ctx.model_factory().get_params()
+        expected, _ = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                   ctx.round_config, round_tag=(0, 0))
+        for mode in ("sync", "buffered", "async"):
+            engine = _quiet_engine(mode)
+            engine.advance((0, 0))
+            got, stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                      ctx.round_config, round_tag=(0, 0),
+                                      engine=engine, stream="g")
+            assert stats.aggregated
+            assert np.array_equal(flatten_params(got),
+                                  flatten_params(expected)), mode
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("method", ["fedavg", "fielding"])
+    def test_full_run_bitwise(self, method):
+        spec = make_tiny_spec(name="unit_diff_equiv", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=17)
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings()
+        reference = run_strategy(build_strategy(method), spec, base, seed=0,
+                                 dataset=ds)
+        for mode in ("buffered", "async"):
+            st_mode = dataclasses.replace(
+                base, federation=FederationConfig(mode=mode))
+            got = run_strategy(build_strategy(method), spec, st_mode, seed=0,
+                               dataset=ds)
+            assert got.window_series == reference.window_series, mode
+
+
+class TestSeededAvailabilityDeterminism:
+    """The CI determinism job's in-process assertion (30% dropout, 2 runs)."""
+
+    @pytest.mark.slow
+    def test_dropout_run_is_deterministic(self):
+        spec = make_tiny_spec(name="unit_diff_determ", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=23)
+        ds = FederatedShiftDataset(spec)
+        st_drop = dataclasses.replace(
+            make_run_settings(),
+            federation=FederationConfig(
+                mode="async", staleness_policy="polynomial",
+                availability=AvailabilityConfig(dropout_prob=0.3,
+                                                straggler_prob=0.2)))
+        runs = [run_strategy(build_strategy("fedavg"), spec, st_drop, seed=5,
+                             dataset=ds) for _ in range(2)]
+        first, second = (run_result_to_dict(r) for r in runs)
+        assert first == second
+        fed = first["extras"]["federation"]
+        assert fed["dropped"] > 0  # the scenario actually perturbed the run

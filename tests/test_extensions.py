@@ -206,6 +206,93 @@ class TestSecureAggregation:
         assert np.allclose(session.aggregate()[0], update[0])
 
 
+class TestSecureAggregationPartialParticipation:
+    """Invariants when some of the cohort never submits.
+
+    This is the regime the async federation engine creates every round
+    (dropouts, stragglers), and the precondition for the ROADMAP's
+    bank-resident secure aggregation: the server must neither reveal a
+    partial aggregate nor lose mask cancellation once the stragglers arrive.
+    """
+
+    SHAPES = [(3, 2), (2,)]
+
+    def _session(self, cohort, seed=13):
+        return SecureAggregationSession(cohort, self.SHAPES, shared_seed=seed)
+
+    def _updates(self, rng, n):
+        return [[rng.normal(size=s) for s in self.SHAPES] for _ in range(n)]
+
+    def test_missing_tracks_submissions_in_cohort_order(self, rng):
+        session = self._session([0, 1, 2, 3])
+        updates = self._updates(rng, 4)
+        assert session.missing == [0, 1, 2, 3]
+        session.submit(2, updates[2])
+        session.submit(0, updates[0])
+        assert session.missing == [1, 3]
+        session.submit(3, updates[3])
+        assert session.missing == [1]
+
+    def test_aggregate_refusal_names_missing_parties(self, rng):
+        session = self._session([0, 1, 2])
+        session.submit(0, self._updates(rng, 1)[0])
+        with pytest.raises(IncompleteSubmissionError, match=r"\[1, 2\]"):
+            session.aggregate()
+
+    def test_partial_sum_carries_exact_mask_residue(self, rng):
+        """With party m absent, the submitted sum differs from the raw sum
+        by exactly the net masks shared with m — nothing else survives."""
+        cohort = [0, 1, 2, 3]
+        missing = 3
+        updates = dict(zip(cohort, self._updates(rng, 4)))
+        session = self._session(cohort)
+        present = [p for p in cohort if p != missing]
+        for pid in present:
+            session.submit(pid, updates[pid])
+        masked_sum = [np.zeros(s) for s in self.SHAPES]
+        for pid in present:
+            for t, m in zip(masked_sum, session._masked[pid]):
+                t += m
+        raw_sum = [sum(updates[pid][i] for pid in present)
+                   for i in range(len(self.SHAPES))]
+        residue = [np.zeros(s) for s in self.SHAPES]
+        for pid in present:
+            mask = pairwise_mask(session.shared_seed, pid, missing, self.SHAPES)
+            sign = 1.0 if pid < missing else -1.0
+            for t, m in zip(residue, mask):
+                t += sign * m
+        for got, raw, res in zip(masked_sum, raw_sum, residue):
+            assert np.allclose(got, raw + res, atol=1e-9)
+        # The residue is the privacy margin: it must not vanish.
+        assert any(np.abs(r).max() > 1e-3 for r in residue)
+
+    def test_masks_cancel_once_straggler_arrives(self, rng):
+        cohort = [0, 1, 2, 3]
+        updates = dict(zip(cohort, self._updates(rng, 4)))
+        session = self._session(cohort)
+        for pid in [0, 1, 2]:
+            session.submit(pid, updates[pid])
+        with pytest.raises(IncompleteSubmissionError):
+            session.aggregate()
+        session.submit(3, updates[3])  # the straggler reports late
+        assert session.missing == []
+        aggregate = session.aggregate()
+        expected = [np.mean([updates[p][i] for p in cohort], axis=0)
+                    for i in range(len(self.SHAPES))]
+        for a, e in zip(aggregate, expected):
+            assert np.allclose(a, e, atol=1e-9)
+
+    def test_every_partial_submission_stays_masked(self, rng):
+        cohort = [0, 1, 2]
+        updates = dict(zip(cohort, self._updates(rng, 3)))
+        session = self._session(cohort)
+        for pid in [0, 2]:  # party 1 never submits
+            session.submit(pid, updates[pid])
+            assert session.submission_is_masked(pid, updates[pid])
+        with pytest.raises(KeyError):
+            session.submission_is_masked(1, updates[1])
+
+
 # ------------------------------------------------------------- drift monitor
 
 class TestDriftMonitor:
