@@ -180,7 +180,7 @@ def cmd_compare(args) -> int:
         federation = _federation_from_args(args)
         plan = ExperimentPlan.build(args.dataset, methods, seeds=seeds,
                                     profile=args.profile, dtype=args.dtype,
-                                    federation=federation)
+                                    federation=federation, shards=args.shards)
         result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
     except (ValueError, KeyError) as exc:
         print(str(exc).strip("'\""), file=sys.stderr)
@@ -254,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("float32", "float64"),
                            help="model precision (default: the profile's, "
                                 "float64; float32 is ~2x faster)")
+    p_compare.add_argument("--shards", type=int, default=None, metavar="N",
+                           help="split parameter banks across N shared-"
+                                "memory shards so aggregation and expert "
+                                "scoring fan out over processes (default 1: "
+                                "in-process, bitwise-identical results)")
     p_compare.add_argument("--jobs", type=int, default=1,
                            help="run the strategy x seed grid over N processes")
     p_compare.add_argument("--progress", action="store_true",

@@ -95,6 +95,12 @@ class ExperimentPlan:
     buffered / async plus an availability scenario); it overrides the
     profile settings' federation config and serializes with the plan, so a
     dropout study is a checked-in file.
+
+    ``shards`` declares the parameter-bank sharding (see
+    :mod:`repro.utils.sharding`): how many shared-memory shards round banks
+    and the expert pool split across.  It overrides the profile settings'
+    ``shards`` and serializes with the plan; ``None`` defers to the profile
+    (whose default, 1, is the bitwise single-process path).
     """
 
     dataset: str
@@ -106,6 +112,7 @@ class ExperimentPlan:
     name: str = ""
     dtype: str | None = None
     federation: FederationConfig | None = None
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         self.strategies = tuple(self.strategies)
@@ -117,6 +124,10 @@ class ExperimentPlan:
         if self.dtype is not None:
             from repro.utils.params import resolve_dtype
             self.dtype = str(resolve_dtype(self.dtype))
+        if self.shards is not None:
+            self.shards = int(self.shards)
+            if self.shards < 1:
+                raise ValueError("shards must be at least 1 when given")
         if self.federation is not None and not isinstance(self.federation,
                                                           FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
@@ -132,7 +143,8 @@ class ExperimentPlan:
               profile: str = "ci", spec_override: DatasetSpec | None = None,
               settings_override: RunSettings | None = None,
               name: str = "", dtype: str | None = None,
-              federation: FederationConfig | None = None) -> "ExperimentPlan":
+              federation: FederationConfig | None = None,
+              shards: int | None = None) -> "ExperimentPlan":
         """Flexible constructor: strategies as names, mapping, or specs.
 
         ``strategies`` may be an iterable of names/StrategySpecs or a mapping
@@ -157,7 +169,7 @@ class ExperimentPlan:
                    seeds=tuple(seeds), profile=profile,
                    spec_override=spec_override,
                    settings_override=settings_override, name=name,
-                   dtype=dtype, federation=federation)
+                   dtype=dtype, federation=federation, shards=shards)
 
     # -------------------------------------------------------------- execution
 
@@ -183,6 +195,8 @@ class ExperimentPlan:
             settings = dataclasses.replace(settings, dtype=self.dtype)
         if self.federation is not None and settings.federation != self.federation:
             settings = dataclasses.replace(settings, federation=self.federation)
+        if self.shards is not None and settings.shards != self.shards:
+            settings = dataclasses.replace(settings, shards=self.shards)
         return spec, settings
 
     def run(self, executor=None, callbacks=()) -> ComparisonResult:
@@ -217,6 +231,8 @@ class ExperimentPlan:
             out["dtype"] = self.dtype
         if self.federation is not None:
             out["federation"] = self.federation.to_dict()
+        if self.shards is not None:
+            out["shards"] = self.shards
         if self.spec_override is not None:
             out["spec_override"] = dataclasses.asdict(self.spec_override)
         if self.settings_override is not None:
@@ -250,6 +266,7 @@ class ExperimentPlan:
             dtype=data.get("dtype"),
             federation=(FederationConfig.from_dict(data["federation"])
                         if data.get("federation") is not None else None),
+            shards=data.get("shards"),
         )
 
 

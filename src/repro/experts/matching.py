@@ -11,6 +11,16 @@ When the cluster carries class tags (and the memory stores them), the score
 is *class-conditional* MMD: at window-sized samples the label-composition
 differences between a cluster and a memory otherwise dominate the
 unconditional statistic and mask the covariate signal entirely.
+
+Scaling
+-------
+With an active :class:`~repro.utils.sharding.ShardPlan` the per-expert score
+vector fans out across shards (each scores a contiguous chunk of expert
+memories; results are concatenated), and :class:`WindowMatchScorer` batches
+*all* of a window's clusters into one stacked Gram evaluation — the
+memory-side kernel means are computed once per window instead of once per
+cluster.  Both are gated behind ``shards >= 2``: the default path is the
+historical per-cluster call, byte for byte.
 """
 
 from __future__ import annotations
@@ -21,6 +31,13 @@ import numpy as np
 
 from repro.detection.mmd import class_conditional_mmd_to_many, mmd_to_many
 from repro.experts.registry import Expert, ExpertRegistry
+from repro.utils.sharding import (
+    ShardPlan,
+    sharded_class_conditional_mmd_many_to_many,
+    sharded_class_conditional_mmd_to_many,
+    sharded_mmd_many_to_many,
+    sharded_mmd_to_many,
+)
 from repro.utils.validation import check_2d
 
 
@@ -34,27 +51,17 @@ class MatchResult:
     scores: dict[int, float]  # per-expert MMD
 
 
-def match_cluster_to_expert(cluster_embeddings: np.ndarray,
-                            registry: ExpertRegistry,
-                            epsilon: float,
-                            gamma: float | None = None,
-                            exclude: set[int] | None = None,
-                            max_rows: int | None = None,
-                            rng: np.random.Generator | None = None,
-                            cluster_labels: np.ndarray | None = None,
-                            ) -> MatchResult:
-    """Find the closest expert by MMD between cluster and memory signatures.
+def _subsample_cluster(cluster_embeddings: np.ndarray,
+                       cluster_labels: np.ndarray | None,
+                       max_rows: int | None,
+                       rng: np.random.Generator | None,
+                       ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate a cluster pool and subsample it to ``max_rows`` rows.
 
-    ``epsilon`` is the reuse threshold; experts with empty memories (never
-    trained on any regime) and ids in ``exclude`` are skipped.
-
-    ``max_rows`` subsamples the cluster pool before comparison.  MMD's
-    magnitude depends on sample size, so matching at the same row count the
-    reuse threshold was calibrated at (the latent-memory capacity) keeps the
-    score and the threshold on one scale.
+    MMD's magnitude depends on sample size, so matching at the same row
+    count the reuse threshold was calibrated at (the latent-memory
+    capacity) keeps the score and the threshold on one scale.
     """
-    if epsilon < 0:
-        raise ValueError("epsilon must be non-negative")
     cluster_embeddings = check_2d(cluster_embeddings, "cluster_embeddings")
     if cluster_labels is not None:
         cluster_labels = np.asarray(cluster_labels)
@@ -63,27 +70,27 @@ def match_cluster_to_expert(cluster_embeddings: np.ndarray,
     if max_rows is not None and cluster_embeddings.shape[0] > max_rows:
         if rng is None:
             raise ValueError("subsampling the cluster pool requires an rng")
-        idx = rng.choice(cluster_embeddings.shape[0], size=max_rows, replace=False)
+        idx = rng.choice(cluster_embeddings.shape[0], size=max_rows,
+                         replace=False)
         cluster_embeddings = cluster_embeddings[idx]
         if cluster_labels is not None:
             cluster_labels = cluster_labels[idx]
-    eligible = [
+    return cluster_embeddings, cluster_labels
+
+
+def _eligible_experts(registry: ExpertRegistry,
+                      exclude: set[int] | None) -> list[Expert]:
+    """Experts a cluster may match: non-empty memory, not excluded."""
+    return [
         expert for expert in registry.all()
         if not (exclude and expert.expert_id in exclude)
         and not expert.memory.is_empty
     ]
-    # One batched evaluation over all expert memories: the cluster-side
-    # kernel blocks are computed once and the cross blocks come from a
-    # single stacked matmul, instead of a per-expert Python loop.
-    if cluster_labels is not None:
-        score_values = class_conditional_mmd_to_many(
-            cluster_embeddings, cluster_labels,
-            [e.memory.signature for e in eligible],
-            [e.memory.signature_labels for e in eligible], gamma,
-        )
-    else:
-        score_values = mmd_to_many(
-            cluster_embeddings, [e.memory.signature for e in eligible], gamma)
+
+
+def _best_match(eligible: list[Expert], score_values,
+                epsilon: float) -> MatchResult:
+    """Fold per-expert scores into a MatchResult (first minimum wins)."""
     scores: dict[int, float] = {}
     best_id: int | None = None
     best_score = float("inf")
@@ -102,6 +109,59 @@ def match_cluster_to_expert(cluster_embeddings: np.ndarray,
     )
 
 
+def match_cluster_to_expert(cluster_embeddings: np.ndarray,
+                            registry: ExpertRegistry,
+                            epsilon: float,
+                            gamma: float | None = None,
+                            exclude: set[int] | None = None,
+                            max_rows: int | None = None,
+                            rng: np.random.Generator | None = None,
+                            cluster_labels: np.ndarray | None = None,
+                            shards: ShardPlan | None = None,
+                            ) -> MatchResult:
+    """Find the closest expert by MMD between cluster and memory signatures.
+
+    ``epsilon`` is the reuse threshold; experts with empty memories (never
+    trained on any regime) and ids in ``exclude`` are skipped.
+
+    ``max_rows`` subsamples the cluster pool before comparison (see
+    :func:`_subsample_cluster`).  An active ``shards`` plan fans the
+    per-expert score vector out across shards — each shard scores a
+    contiguous chunk of the expert pool and the chunks are concatenated, so
+    the result aligns with the serial call up to floating-point noise.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    cluster_embeddings, cluster_labels = _subsample_cluster(
+        cluster_embeddings, cluster_labels, max_rows, rng)
+    eligible = _eligible_experts(registry, exclude)
+    # One batched evaluation over all expert memories: the cluster-side
+    # kernel blocks are computed once and the cross blocks come from a
+    # single stacked matmul, instead of a per-expert Python loop.  With an
+    # active shard plan the expert pool is chunked across shards on top.
+    if shards is not None and shards.is_active:
+        if cluster_labels is not None:
+            score_values = sharded_class_conditional_mmd_to_many(
+                cluster_embeddings, cluster_labels,
+                [e.memory.signature for e in eligible],
+                [e.memory.signature_labels for e in eligible], gamma, shards,
+            )
+        else:
+            score_values = sharded_mmd_to_many(
+                cluster_embeddings,
+                [e.memory.signature for e in eligible], gamma, shards)
+    elif cluster_labels is not None:
+        score_values = class_conditional_mmd_to_many(
+            cluster_embeddings, cluster_labels,
+            [e.memory.signature for e in eligible],
+            [e.memory.signature_labels for e in eligible], gamma,
+        )
+    else:
+        score_values = mmd_to_many(
+            cluster_embeddings, [e.memory.signature for e in eligible], gamma)
+    return _best_match(eligible, score_values, epsilon)
+
+
 def nearest_expert(cluster_embeddings: np.ndarray, registry: ExpertRegistry,
                    gamma: float | None = None) -> Expert | None:
     """The closest expert regardless of threshold (None if registry empty)."""
@@ -110,3 +170,98 @@ def nearest_expert(cluster_embeddings: np.ndarray, registry: ExpertRegistry,
     if result.expert_id is None:
         return None
     return registry.get(result.expert_id)
+
+
+class WindowMatchScorer:
+    """Batch-score all of a window's clusters in one Gram evaluation.
+
+    The per-cluster path pays the memory-side kernel means once per
+    *cluster*; a shift window with several covariate clusters recomputes
+    them k times.  This scorer stacks every cluster into a single
+    :func:`~repro.detection.mmd.mmd_many_to_many` (or class-conditional)
+    evaluation against the expert pool *as it stands at construction time*,
+    optionally fanning the expert axis out across shards.
+
+    Cluster-by-cluster processing stays semantically sequential: a cluster
+    handled earlier in the window may create a new expert or refresh a
+    matched expert's memory, and later clusters must see that.  ``match()``
+    therefore serves cached scores only for experts whose memory is
+    untouched since the snapshot (tracked via ``LatentMemory.updates``) and
+    rescores the delta — typically one expert per preceding cluster —
+    against the cluster's already-subsampled pool.
+    """
+
+    def __init__(self, registry: ExpertRegistry,
+                 clusters: list[np.ndarray],
+                 cluster_labels: list[np.ndarray] | None,
+                 gamma: float | None = None,
+                 max_rows: int | None = None,
+                 rngs: list[np.random.Generator] | None = None,
+                 shards: ShardPlan | None = None) -> None:
+        if cluster_labels is not None and len(cluster_labels) != len(clusters):
+            raise ValueError("cluster_labels must align with clusters")
+        if rngs is not None and len(rngs) != len(clusters):
+            raise ValueError("rngs must align with clusters")
+        self._registry = registry
+        self._gamma = gamma
+        self._shards = shards
+        self._xs: list[np.ndarray] = []
+        self._xls: list[np.ndarray] | None = (
+            [] if cluster_labels is not None else None)
+        for i, cluster in enumerate(clusters):
+            labels = cluster_labels[i] if cluster_labels is not None else None
+            rng = rngs[i] if rngs is not None else None
+            x, xl = _subsample_cluster(cluster, labels, max_rows, rng)
+            self._xs.append(x)
+            if self._xls is not None:
+                self._xls.append(xl)
+        snapshot = _eligible_experts(registry, exclude=None)
+        self._snapshot_ids = [e.expert_id for e in snapshot]
+        self._snapshot_state = {
+            e.expert_id: (e.memory, e.memory.updates) for e in snapshot}
+        plan = shards if shards is not None else ShardPlan()
+        if snapshot and clusters:
+            ys = [e.memory.signature for e in snapshot]
+            if self._xls is not None:
+                yls = [e.memory.signature_labels for e in snapshot]
+                self._scores = sharded_class_conditional_mmd_many_to_many(
+                    self._xs, self._xls, ys, yls, gamma, plan)
+            else:
+                self._scores = sharded_mmd_many_to_many(self._xs, ys, gamma,
+                                                        plan)
+        else:
+            self._scores = np.zeros((len(clusters), 0))
+        self._columns = {eid: j for j, eid in enumerate(self._snapshot_ids)}
+
+    def _is_fresh(self, expert: Expert) -> bool:
+        state = self._snapshot_state.get(expert.expert_id)
+        return (state is not None and state[0] is expert.memory
+                and state[1] == expert.memory.updates)
+
+    def match(self, index: int, epsilon: float,
+              exclude: set[int] | None = None) -> MatchResult:
+        """Match cluster ``index`` against the registry *as it is now*."""
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        x = self._xs[index]
+        xl = self._xls[index] if self._xls is not None else None
+        eligible = _eligible_experts(self._registry, exclude)
+        stale = [e for e in eligible if not self._is_fresh(e)]
+        fresh_scores: dict[int, float] = {}
+        if stale:
+            if xl is not None:
+                vals = class_conditional_mmd_to_many(
+                    x, xl, [e.memory.signature for e in stale],
+                    [e.memory.signature_labels for e in stale], self._gamma)
+            else:
+                vals = mmd_to_many(
+                    x, [e.memory.signature for e in stale], self._gamma)
+            fresh_scores = {e.expert_id: float(v)
+                            for e, v in zip(stale, vals)}
+        score_values = [
+            fresh_scores.get(e.expert_id,
+                             self._scores[index,
+                                          self._columns.get(e.expert_id, -1)])
+            for e in eligible
+        ]
+        return _best_match(eligible, score_values, epsilon)

@@ -9,7 +9,33 @@ each expert's flattened parameters are a bank row, so pool-level operations
 (pairwise cosine similarity for consolidation, stacked matching) run as
 single matrix products over :meth:`ExpertRegistry.param_matrix`.  Rows are
 reference counted, which makes :meth:`ExpertRegistry.clone` copy-on-write:
-the clone shares the source row until either side writes.
+the clone shares the source row until either side writes.  With an active
+:class:`~repro.utils.sharding.ShardPlan` the pool bank is a
+:class:`~repro.utils.params.ShardedParamBank` and pool-level cosine
+similarity fans out across processes (:meth:`ExpertRegistry.cosine_matrix`).
+
+Copy-on-write and refcounting invariants
+----------------------------------------
+These hold on top of the bank-level invariants in
+:mod:`repro.utils.params`; break any of them and one expert's training will
+silently corrupt another's parameters:
+
+1. **An expert writes its row only through `set_params` / `set_flat`**,
+   which call ``ensure_private`` first.  Never mutate ``expert.params``
+   views while :attr:`Expert.is_cow_shared` is true — they are handed out
+   read-only for exactly this reason.
+2. **Every expert owns exactly one live row reference.**  ``clone`` adds a
+   reference (two experts, one row, refcount 2); the first writer splits.
+   ``remove`` detaches the expert onto a private single-row bank *before*
+   the pool row is released, so removed experts stay usable (checkpointing)
+   while the pool recycles their slot.
+3. **`param_matrix` / `cosine_matrix` order is `ids()` order** (sorted
+   expert ids), never bank slot order — slot order diverges after any
+   remove + create cycle.
+4. **Adopted experts land on the pool bank before anything else touches
+   them** (``_adopt``): pool-level matrix ops assume every registry expert
+   shares one bank; a foreign-bank expert would silently fall back to a
+   gather copy.
 """
 
 from __future__ import annotations
@@ -17,7 +43,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experts.memory import LatentMemory
-from repro.utils.params import ParamBank, ParamSpec, Params
+from repro.utils.params import (
+    ParamBank,
+    ParamSpec,
+    Params,
+    cosine_similarity_matrix,
+    make_param_bank,
+)
+from repro.utils.sharding import ShardPlan, resolve_shard_plan
 
 
 class Expert:
@@ -119,10 +152,14 @@ class ExpertRegistry:
     """Ordered pool of experts with stable integer ids."""
 
     def __init__(self, memory_capacity: int = 64, memory_eta: float = 0.3,
-                 dtype=None) -> None:
+                 dtype=None,
+                 shard_plan: "ShardPlan | int | None" = None) -> None:
         self.memory_capacity = memory_capacity
         self.memory_eta = memory_eta
         self._dtype = dtype  # None: inferred from the first expert's params
+        # May be reassigned until the first expert creates the pool bank
+        # (ShiftEx binds it from the run context in ``setup``).
+        self.shard_plan = resolve_shard_plan(shard_plan)
         self._bank: ParamBank | None = None
         self._experts: dict[int, Expert] = {}
         self._next_id = 0
@@ -166,6 +203,21 @@ class ExpertRegistry:
             return self._bank.matrix([e._row for e in experts])
         return np.stack([np.asarray(e.flat) for e in experts])
 
+    def cosine_matrix(self, ids: list[int] | None = None) -> np.ndarray:
+        """Pairwise expert cosine similarity in id order.
+
+        Runs on the pool bank when every selected expert lives there — under
+        an active shard plan that fans per-shard Gram blocks out across the
+        worker pool — and falls back to a stacked gather otherwise.
+        """
+        experts = self.all() if ids is None else [self.get(i) for i in ids]
+        if not experts:
+            raise ValueError("registry holds no experts to score")
+        if self._bank is not None and all(e._bank is self._bank for e in experts):
+            return self._bank.cosine_matrix([e._row for e in experts])
+        return cosine_similarity_matrix(
+            np.stack([np.asarray(e.flat) for e in experts]))
+
     # ------------------------------------------------------------------ lifecycle
 
     def _ensure_bank(self, params: Params) -> ParamBank:
@@ -173,7 +225,8 @@ class ExpertRegistry:
             dtype = self._dtype
             if dtype is None and params:
                 dtype = np.result_type(*(p.dtype for p in params))
-            self._bank = ParamBank(ParamSpec.of(params), dtype=dtype)
+            self._bank = make_param_bank(ParamSpec.of(params), dtype=dtype,
+                                         plan=self.shard_plan)
         return self._bank
 
     def _seed_memory(self, embeddings: np.ndarray | None,

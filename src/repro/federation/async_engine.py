@@ -26,6 +26,31 @@ Participation modes
 One engine serves a whole run: each global model / cluster / expert names its
 own ``stream``, so buffered reports never cross aggregation targets, and the
 harness advances the shared round clock once per (window, round).
+
+Buffer lifecycle invariants
+---------------------------
+Contributors touching the engine must preserve these; the differential test
+suite (``tests/test_differential_aggregation.py``) pins most of them:
+
+1. **Every buffered report owns exactly one bank row**, allocated at
+   training time and released on exactly one of three exits: aggregation
+   (:meth:`AsyncRoundBuffer.pop`), window flush (:meth:`AsyncRoundBuffer.flush`
+   via :meth:`FederationEngine.begin_window`), or stream invalidation
+   (the stream's model changed shape/precision in ``_buffer_for``).
+   Leaking a row strands bank capacity for the rest of the run; releasing
+   twice corrupts an unrelated report's storage.
+2. **The clock only moves forward**, exactly once per federated round via
+   :meth:`FederationEngine.advance`; running a round before the first
+   ``advance`` is an error.  Reports are tagged with their dispatch tick,
+   and staleness is always ``current tick - dispatch tick``.
+3. **Aggregation order is dispatch order.**  ``ready()`` preserves push
+   order, which is deterministic for a fixed seed; weights therefore align
+   positionally with rows and two runs of one scenario are bit-identical.
+4. **Zero-sample reports never enter the buffer** — they carry no weight
+   and would poison ``weighted_combine``'s positive-total requirement.
+5. **At age 0 every staleness policy multiplies by exactly 1.0**, which is
+   what makes ``buffered``/``async`` with no availability perturbation
+   reproduce the synchronous path bitwise.
 """
 
 from __future__ import annotations
@@ -48,7 +73,8 @@ from repro.federation.rounds import (
     round_dtype,
     train_cohort,
 )
-from repro.utils.params import ParamBank, ParamSpec, Params
+from repro.utils.params import ParamSpec, Params, make_param_bank
+from repro.utils.sharding import ShardPlan, resolve_shard_plan
 
 PARTICIPATION_MODES = ("sync", "buffered", "async")
 
@@ -133,8 +159,10 @@ class AsyncRoundBuffer:
     expired.
     """
 
-    def __init__(self, spec: ParamSpec, dtype=None, capacity: int = 4) -> None:
-        self.bank = ParamBank(spec, dtype=dtype, capacity=capacity)
+    def __init__(self, spec: ParamSpec, dtype=None, capacity: int = 4,
+                 shards: ShardPlan | None = None) -> None:
+        self.bank = make_param_bank(spec, dtype=dtype, capacity=capacity,
+                                    plan=shards)
         self._pending: list[_PendingReport] = []
 
     @property
@@ -186,9 +214,11 @@ class FederationEngine:
     """
 
     def __init__(self, config: FederationConfig, seed: int = 0,
-                 num_parties: int | None = None) -> None:
+                 num_parties: int | None = None,
+                 shard_plan: "ShardPlan | int | None" = None) -> None:
         self.config = config
         self.seed = seed
+        self.shard_plan = resolve_shard_plan(shard_plan)
         self.simulator = AvailabilitySimulator(config.availability, seed,
                                                num_parties)
         self.clock = -1  # advance() before the first round makes this 0
@@ -229,7 +259,8 @@ class FederationEngine:
     # ------------------------------------------------------------------ rounds
 
     def _buffer_for(self, stream: object, spec: ParamSpec, dtype,
-                    capacity: int) -> AsyncRoundBuffer:
+                    capacity: int,
+                    shards: ShardPlan | None = None) -> AsyncRoundBuffer:
         buf = self._buffers.get(stream)
         if buf is not None and (buf.spec != spec
                                 or buf.bank.dtype != np.dtype(dtype)):
@@ -239,7 +270,8 @@ class FederationEngine:
             self.counters["expired_reports"] += buf.flush()
             buf = None
         if buf is None:
-            buf = AsyncRoundBuffer(spec, dtype=dtype, capacity=capacity)
+            buf = AsyncRoundBuffer(spec, dtype=dtype, capacity=capacity,
+                                   shards=shards)
             self._buffers[stream] = buf
         return buf
 
@@ -260,12 +292,14 @@ class FederationEngine:
     def run_round(self, parties: dict[int, Party], participant_ids: list[int],
                   params: Params, config: RoundConfig, round_tag: object = 0,
                   stream: object = "default", dtype=None,
+                  shards: "ShardPlan | int | None" = None,
                   ) -> tuple[Params, RoundStats]:
         """One engine-mediated round (called via ``run_fl_round``)."""
         if self.clock < 0:
             raise RuntimeError(
                 "FederationEngine.advance() must be called before the first "
                 "round (the harness does this once per federated round)")
+        plan = self.shard_plan if shards is None else resolve_shard_plan(shards)
         tick = self.clock
         fates = self.simulator.cohort_fates(list(participant_ids), tick)
         alive = [f for f in fates if not f.dropped]
@@ -275,12 +309,13 @@ class FederationEngine:
 
         if self.config.mode == "sync":
             return self._run_sync(parties, alive, dropped, participant_ids,
-                                  params, config, round_tag, dtype)
+                                  params, config, round_tag, dtype, plan)
 
         spec = ParamSpec.of(params)
         bank_dtype = round_dtype(parties, list(participant_ids), params, dtype)
         buf = self._buffer_for(stream, spec, bank_dtype,
-                               capacity=max(len(participant_ids), 1))
+                               capacity=max(len(participant_ids), 1),
+                               shards=plan)
         alive_ids = [f.party_id for f in alive]
         rows, updates = train_cohort(parties, alive_ids, params, config,
                                      round_tag, buf.bank)
@@ -327,7 +362,8 @@ class FederationEngine:
         return new_params, stats
 
     def _run_sync(self, parties, alive, dropped, participant_ids, params,
-                  config, round_tag, dtype) -> tuple[Params, RoundStats]:
+                  config, round_tag, dtype,
+                  shards: ShardPlan | None = None) -> tuple[Params, RoundStats]:
         """Blocking mode: full surviving cohort, stragglers awaited."""
         alive_ids = [f.party_id for f in alive]
         if not alive_ids:
@@ -338,7 +374,7 @@ class FederationEngine:
                 dropped=dropped, aggregated=False,
             )
         new_params, stats = _sync_round(parties, alive_ids, params, config,
-                                        round_tag, dtype=dtype)
+                                        round_tag, dtype=dtype, shards=shards)
         stats.participants = list(participant_ids)
         stats.dropped = dropped
         self.counters["aggregations"] += 1
@@ -347,12 +383,16 @@ class FederationEngine:
 
 
 def build_engine(config: FederationConfig, seed: int = 0,
-                 num_parties: int | None = None) -> FederationEngine | None:
+                 num_parties: int | None = None,
+                 shard_plan: "ShardPlan | int | None" = None,
+                 ) -> FederationEngine | None:
     """An engine when the config changes behavior, else None (pure sync).
 
     Returning None keeps default runs on the engine-less fast path, which is
-    the seed-reproduction code path byte for byte.
+    the seed-reproduction code path byte for byte.  ``shard_plan`` becomes
+    the engine's default bank sharding for every stream buffer.
     """
     if not config.is_active:
         return None
-    return FederationEngine(config, seed=seed, num_parties=num_parties)
+    return FederationEngine(config, seed=seed, num_parties=num_parties,
+                            shard_plan=shard_plan)

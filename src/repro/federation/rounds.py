@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.federation.party import Party
 from repro.nn.training import LocalTrainingConfig
-from repro.utils.params import ParamBank, ParamSpec, Params
+from repro.utils.params import ParamBank, ParamSpec, Params, make_param_bank
+from repro.utils.sharding import ShardPlan, resolve_shard_plan
 
 
 @dataclass
@@ -112,11 +113,13 @@ def mean_finite_loss(updates) -> float:
 
 def _sync_round(parties: dict[int, Party], participant_ids: list[int],
                 params: Params, config: RoundConfig, round_tag: object,
-                dtype=None) -> tuple[Params, RoundStats]:
+                dtype=None, shards: ShardPlan | None = None,
+                ) -> tuple[Params, RoundStats]:
     spec = ParamSpec.of(params)
-    bank = ParamBank(spec, dtype=round_dtype(parties, participant_ids, params,
+    bank = make_param_bank(spec,
+                           dtype=round_dtype(parties, participant_ids, params,
                                              dtype),
-                     capacity=len(participant_ids))
+                           capacity=len(participant_ids), plan=shards)
     rows, updates = train_cohort(parties, participant_ids, params, config,
                                  round_tag, bank)
     weights = np.array([float(u.num_samples) for u in updates])
@@ -144,7 +147,9 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
                  params: Params, config: RoundConfig,
                  round_tag: object = 0, engine=None,
                  stream: object = "default",
-                 dtype=None) -> tuple[Params, RoundStats]:
+                 dtype=None,
+                 shards: "ShardPlan | int | None" = None,
+                 ) -> tuple[Params, RoundStats]:
     """Train ``params`` for one round over the given participants.
 
     Returns the FedAvg-aggregated parameters and round statistics.  The
@@ -156,12 +161,18 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
     then names the aggregation target (one buffer per global model / cluster
     / expert) so buffered reports never cross models.  ``dtype`` overrides
     the round bank precision (default: the cohort's bound model dtype).
+
+    ``shards`` (a :class:`~repro.utils.sharding.ShardPlan` or shard count)
+    splits the round bank across shared-memory shards so the FedAvg matvec
+    runs as per-shard partial products; the default (1 shard) keeps the
+    in-process bank and reproduces historical results bitwise.  Under an
+    engine the engine's own plan wins when this argument is None.
     """
     if not participant_ids:
         raise ValueError("cannot run a round with no participants")
     if engine is not None:
         return engine.run_round(parties, participant_ids, params, config,
                                 round_tag=round_tag, stream=stream,
-                                dtype=dtype)
+                                dtype=dtype, shards=shards)
     return _sync_round(parties, participant_ids, params, config, round_tag,
-                       dtype=dtype)
+                       dtype=dtype, shards=resolve_shard_plan(shards))

@@ -34,6 +34,7 @@ from repro.federation.rounds import RoundConfig
 from repro.nn.network import Sequential
 from repro.utils.params import Params
 from repro.utils.rng import spawn_rng
+from repro.utils.sharding import ShardPlan
 
 
 @dataclass
@@ -44,6 +45,12 @@ class StrategyContext:
     rounds).  Strategies pass it to ``run_fl_round`` together with a
     ``stream`` key naming the aggregation target, so buffered reports for one
     cluster/expert never leak into another.
+
+    ``shard_plan`` is the run's parameter-bank sharding
+    (:class:`~repro.utils.sharding.ShardPlan`): strategies thread it into
+    ``run_fl_round`` and the expert matching/consolidation calls so round
+    banks and pool-level scoring fan out across processes.  The default
+    (1 shard) is the byte-for-byte in-process path.
     """
 
     spec: DatasetSpec
@@ -55,6 +62,7 @@ class StrategyContext:
     ledger: CommunicationLedger = field(default_factory=CommunicationLedger)
     profiler: RuntimeProfiler = field(default_factory=RuntimeProfiler)
     federation: "FederationEngine | None" = None
+    shard_plan: ShardPlan = field(default_factory=ShardPlan)
 
     def rng(self, *labels: object) -> np.random.Generator:
         return spawn_rng(self.seed, *labels)

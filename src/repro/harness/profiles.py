@@ -11,6 +11,7 @@ from repro.federation.async_engine import FederationConfig
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
 from repro.utils.params import resolve_dtype
+from repro.utils.sharding import ShardPlan
 
 _PROFILE_NAMES = ("ci", "small", "paper")
 
@@ -30,6 +31,15 @@ class RunSettings:
     rounds (the default, engine-less fast path) or ``buffered``/``async``
     staleness-weighted aggregation under a simulated availability scenario
     (see :class:`~repro.federation.async_engine.FederationConfig`).
+
+    ``shards`` splits every parameter bank the run builds (round banks,
+    async stream buffers, the expert pool) across that many shared-memory
+    shards so aggregation and expert-similarity scoring fan out over
+    processes (see :mod:`repro.utils.sharding`).  The default ``1`` keeps
+    every bank in-process and reproduces single-process results bitwise.
+    ``shard_backend`` picks who executes per-shard work: ``auto`` (the
+    default) uses the worker pool only for operations big enough to beat
+    the IPC round trip, ``process``/``serial`` force one side.
     """
 
     rounds_burn_in: int = 6
@@ -38,12 +48,15 @@ class RunSettings:
     eval_parties: int | None = None  # None = evaluate every party
     dtype: str = "float64"
     federation: FederationConfig = field(default_factory=FederationConfig)
+    shards: int = 1
+    shard_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rounds_burn_in <= 0 or self.rounds_per_window <= 0:
             raise ValueError("round counts must be positive")
         if self.eval_parties is not None and self.eval_parties <= 0:
             raise ValueError("eval_parties must be positive when given")
+        self.shard_plan  # validates shards >= 1 and the backend name
         self.dtype = str(resolve_dtype(self.dtype))
         if not isinstance(self.federation, FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
@@ -51,6 +64,10 @@ class RunSettings:
     @property
     def np_dtype(self) -> np.dtype:
         return resolve_dtype(self.dtype)
+
+    @property
+    def shard_plan(self) -> ShardPlan:
+        return ShardPlan(shards=self.shards, backend=self.shard_backend)
 
     def rounds_for_window(self, window: int) -> int:
         return self.rounds_burn_in if window == 0 else self.rounds_per_window

@@ -86,8 +86,10 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
 
     # None unless the run's federation config changes behavior — the default
     # stays on the engine-less synchronous path byte for byte.
+    shard_plan = settings.shard_plan
     engine = build_engine(settings.federation, seed=seed,
-                          num_parties=spec.num_parties)
+                          num_parties=spec.num_parties,
+                          shard_plan=shard_plan)
     ctx = StrategyContext(
         spec=spec,
         parties=parties,
@@ -95,6 +97,7 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         round_config=settings.round_config,
         seed=seed,
         federation=engine,
+        shard_plan=shard_plan,
     )
     strategy.setup(ctx)
 

@@ -1,0 +1,372 @@
+"""Sharded execution plane: fan parameter-bank kernels out over processes.
+
+The contiguous parameter plane (:mod:`repro.utils.params`) made every hot
+path a single BLAS call over one matrix.  This module splits those matrices
+*by row range* across N shards backed by :mod:`multiprocessing.shared_memory`
+so the calls parallelize across processes:
+
+* :class:`ShardPlan` is the declarative knob — ``shards=1`` (the default)
+  means "no sharding at all": every consumer constructs the exact same
+  in-process :class:`~repro.utils.params.ParamBank` objects as before, byte
+  for byte.  ``shards >= 2`` activates :class:`~repro.utils.params.ShardedParamBank`
+  and the fan-out helpers below.
+* The worker pool (:func:`submit_shard_tasks`) is a lazily started,
+  process-wide ``ProcessPoolExecutor``.  Workers *attach* to shard buffers by
+  shared-memory name, so no parameter matrix is ever pickled — only small
+  task descriptors and partial results cross the pipe.
+* The ``serial`` backend runs the identical per-shard computations in the
+  parent, in shard order.  Because the parent always combines partial
+  results in ascending shard order, the process and serial backends produce
+  **bitwise-identical** outputs; they differ from the unsharded kernels only
+  by floating-point summation order ("exact-sum order tolerance").
+
+Determinism contract
+--------------------
+For a fixed ``ShardPlan`` the sharded kernels are deterministic: shard
+membership is a pure function of row order, per-shard partials are computed
+by the same numpy kernels regardless of backend, and cross-shard reduction
+happens in ascending shard index.  Changing ``shards`` changes summation
+order (and therefore the last few ulps), never the math.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+_BACKENDS = ("auto", "process", "serial")
+
+# Below this much per-operation data the pool's IPC round trip costs more
+# than the BLAS call it parallelizes (sub-millisecond kernels; see the
+# *_sharded entries in BENCH_param_plane.json), so ``backend="auto"`` stays
+# in-process.  An explicit ``backend="process"`` always fans out.
+PROCESS_MIN_BYTES = 4 << 20
+
+# One token names one shard buffer: (shm_name, shape, dtype string).  Tokens
+# are re-read from the owning bank for every operation because growth swaps
+# the backing segment (and therefore the name).
+ShardToken = tuple[str, tuple[int, int], str]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How (and whether) bank-backed kernels split across processes.
+
+    ``shards=1`` disables sharding entirely — consumers build plain
+    in-process banks and reproduce unsharded results bitwise.  ``backend``
+    picks who executes the per-shard work:
+
+    * ``"process"`` — a persistent worker pool; shards are computed
+      concurrently, attached zero-copy via shared memory.
+    * ``"serial"``  — the parent computes each shard in order.  Numerically
+      identical to ``"process"``; useful on starved machines and in tests.
+    * ``"auto"``    — ``"process"`` when the machine has more than one CPU,
+      else ``"serial"`` (fan-out on one core only adds overhead).
+
+    Serialized with :class:`~repro.harness.profiles.RunSettings` and
+    :class:`~repro.experiments.plan.ExperimentPlan` via :meth:`to_dict` /
+    :meth:`from_dict`.
+    """
+
+    shards: int = 1
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}; got '{self.backend}'")
+
+    @property
+    def is_active(self) -> bool:
+        """True when consumers should build sharded banks / fan out."""
+        return self.shards > 1
+
+    def resolved_backend(self) -> str:
+        """The backend actually used: ``auto`` resolves against cpu count."""
+        if not self.is_active:
+            return "serial"
+        if self.backend == "auto":
+            return "process" if (os.cpu_count() or 1) > 1 else "serial"
+        return self.backend
+
+    def backend_for(self, work_bytes: int) -> str:
+        """The backend for one operation over ``work_bytes`` of data.
+
+        ``auto`` only pays the process fan-out when the operation is big
+        enough (``PROCESS_MIN_BYTES``) for parallel BLAS to beat the IPC
+        round trip; explicit backends are honored unconditionally.
+        """
+        backend = self.resolved_backend()
+        if (backend == "process" and self.backend == "auto"
+                and work_bytes < PROCESS_MIN_BYTES):
+            return "serial"
+        return backend
+
+    def to_dict(self) -> dict:
+        return {"shards": self.shards, "backend": self.backend}
+
+    @classmethod
+    def from_dict(cls, data) -> "ShardPlan":
+        if isinstance(data, ShardPlan):
+            return data
+        return cls(**dict(data))
+
+
+def resolve_shard_plan(value) -> ShardPlan:
+    """Normalize a knob value (None / int / mapping / plan) to a ShardPlan."""
+    if value is None:
+        return ShardPlan()
+    if isinstance(value, ShardPlan):
+        return value
+    if isinstance(value, int):
+        return ShardPlan(shards=value)
+    return ShardPlan.from_dict(value)
+
+
+def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``shards`` contiguous, near-equal ranges.
+
+    The first ``n % shards`` ranges get one extra element.  Ranges may be
+    empty when ``n < shards``; the list always has exactly ``shards``
+    entries so results can be combined positionally by shard index.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    base, extra = divmod(max(n, 0), shards)
+    out: list[tuple[int, int]] = []
+    start = 0
+    for s in range(shards):
+        stop = start + base + (1 if s < extra else 0)
+        out.append((start, stop))
+        start = stop
+    return out
+
+
+# --------------------------------------------------------------------------
+# worker pool
+# --------------------------------------------------------------------------
+
+_EXECUTOR = None
+_EXECUTOR_SIZE = 0
+
+
+def _shutdown_pool() -> None:
+    global _EXECUTOR, _EXECUTOR_SIZE
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_SIZE = 0
+
+
+def _get_executor(workers: int):
+    """The process-wide worker pool, grown (recreated) on demand."""
+    global _EXECUTOR, _EXECUTOR_SIZE
+    workers = max(1, int(workers))
+    if _EXECUTOR is None or _EXECUTOR_SIZE < workers:
+        from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing as mp
+
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        try:
+            ctx = mp.get_context("fork")  # cheap on Linux; workers inherit numpy
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = mp.get_context("spawn")
+        _EXECUTOR = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _EXECUTOR_SIZE = workers
+        atexit.register(_shutdown_pool)
+    return _EXECUTOR
+
+
+def submit_shard_tasks(fn, task_args: list[tuple], backend: str) -> list:
+    """Run ``fn(*args)`` once per shard, returning results in shard order.
+
+    ``backend="serial"`` executes in the parent loop; ``"process"`` fans out
+    over the pool but still *collects* in submission (shard) order, so the
+    two backends are interchangeable bit for bit.
+    """
+    if backend == "serial" or len(task_args) <= 1:
+        return [fn(*args) for args in task_args]
+    pool = _get_executor(len(task_args))
+    futures = [pool.submit(fn, *args) for args in task_args]
+    return [f.result() for f in futures]
+
+
+# --------------------------------------------------------------------------
+# worker-side shared-memory access
+# --------------------------------------------------------------------------
+
+
+def _attach(token: ShardToken):
+    """Attach to a shard buffer by name (worker side, zero-copy)."""
+    from multiprocessing import shared_memory
+
+    # Workers are forked (see _get_executor), so they share the parent's
+    # resource-tracker process: attaching re-registers the same name as a
+    # no-op and the segment's lifetime stays owned by the creating
+    # ShardedParamBank.  (Windows, the spawn fallback platform, has no
+    # resource tracker for shared memory.)
+    shm = shared_memory.SharedMemory(name=token[0])
+    arr = np.ndarray(token[1], dtype=np.dtype(token[2]), buffer=shm.buf)
+    return shm, arr
+
+
+def _task_matvec(token: ShardToken, rows: list[int],
+                 weights: np.ndarray) -> np.ndarray:
+    """One shard's partial ``w @ M`` over its selected rows."""
+    shm, arr = _attach(token)
+    try:
+        return np.asarray(weights, dtype=arr.dtype) @ arr[np.asarray(rows)]
+    finally:
+        del arr
+        shm.close()
+
+
+def _task_gather_product(tokens: list[ShardToken],
+                         entries: list[tuple[int, int]],
+                         positions: list[int]) -> np.ndarray:
+    """One shard's block of the raw Gram product ``X[positions] @ X.T``.
+
+    ``entries`` lists every requested row as ``(shard, local_row)`` in output
+    order; the worker gathers the full selection zero-copy from the attached
+    segments, then computes only its block rows.
+    """
+    shms, arrays = [], []
+    try:
+        for token in tokens:
+            shm, arr = _attach(token)
+            shms.append(shm)
+            arrays.append(arr)
+        x = np.stack([arrays[s][r] for s, r in entries])
+        return x[np.asarray(positions)] @ x.T
+    finally:
+        del arrays
+        for shm in shms:
+            shm.close()
+
+
+def _task_mmd_chunk(x: np.ndarray, ys: list[np.ndarray],
+                    gamma: float | None) -> np.ndarray:
+    from repro.detection.mmd import mmd_to_many
+
+    return mmd_to_many(x, ys, gamma)
+
+
+def _task_ccmmd_chunk(x: np.ndarray, x_labels: np.ndarray,
+                      ys: list[np.ndarray], ys_labels: list[np.ndarray],
+                      gamma: float | None, min_per_class: int) -> np.ndarray:
+    from repro.detection.mmd import class_conditional_mmd_to_many
+
+    return class_conditional_mmd_to_many(x, x_labels, ys, ys_labels, gamma,
+                                         min_per_class)
+
+
+def _task_mmd_many_chunk(xs: list[np.ndarray], ys: list[np.ndarray],
+                         gamma: float | None) -> np.ndarray:
+    from repro.detection.mmd import mmd_many_to_many
+
+    return mmd_many_to_many(xs, ys, gamma)
+
+
+def _task_ccmmd_many_chunk(xs: list[np.ndarray], xs_labels: list[np.ndarray],
+                           ys: list[np.ndarray], ys_labels: list[np.ndarray],
+                           gamma: float | None,
+                           min_per_class: int) -> np.ndarray:
+    from repro.detection.mmd import class_conditional_mmd_many_to_many
+
+    return class_conditional_mmd_many_to_many(xs, xs_labels, ys, ys_labels,
+                                              gamma, min_per_class)
+
+
+# --------------------------------------------------------------------------
+# sharded scoring kernels (expert matching)
+# --------------------------------------------------------------------------
+
+
+def sharded_mmd_to_many(x: np.ndarray, ys: list[np.ndarray],
+                        gamma: float | None,
+                        plan: ShardPlan) -> np.ndarray:
+    """``mmd_to_many`` with the target sets split across shards.
+
+    Each shard scores a contiguous chunk of ``ys``; chunk results are
+    concatenated in shard order, so the output aligns with ``ys`` exactly
+    like the unsharded call.
+    """
+    from repro.detection.mmd import mmd_to_many
+
+    if not plan.is_active or len(ys) < 2:
+        return mmd_to_many(x, ys, gamma)
+    backend = plan.backend_for(x.nbytes + sum(y.nbytes for y in ys))
+    ranges = shard_ranges(len(ys), plan.shards)
+    tasks = [(x, ys[a:b], gamma) for a, b in ranges if b > a]
+    parts = submit_shard_tasks(_task_mmd_chunk, tasks, backend)
+    return np.concatenate(parts) if parts else np.zeros(0)
+
+
+def sharded_class_conditional_mmd_to_many(
+        x: np.ndarray, x_labels: np.ndarray,
+        ys: list[np.ndarray], ys_labels: list[np.ndarray],
+        gamma: float | None, plan: ShardPlan,
+        min_per_class: int = 2) -> np.ndarray:
+    """Class-conditional :func:`sharded_mmd_to_many` (same chunking)."""
+    from repro.detection.mmd import class_conditional_mmd_to_many
+
+    if not plan.is_active or len(ys) < 2:
+        return class_conditional_mmd_to_many(x, x_labels, ys, ys_labels,
+                                             gamma, min_per_class)
+    backend = plan.backend_for(x.nbytes + sum(y.nbytes for y in ys))
+    ranges = shard_ranges(len(ys), plan.shards)
+    tasks = [(x, x_labels, ys[a:b], ys_labels[a:b], gamma, min_per_class)
+             for a, b in ranges if b > a]
+    parts = submit_shard_tasks(_task_ccmmd_chunk, tasks, backend)
+    return np.concatenate(parts) if parts else np.zeros(0)
+
+
+def sharded_mmd_many_to_many(xs: list[np.ndarray], ys: list[np.ndarray],
+                             gamma: float | None,
+                             plan: ShardPlan) -> np.ndarray:
+    """``mmd_many_to_many`` with the target axis split across shards.
+
+    Each shard scores every cluster against a contiguous chunk of ``ys``;
+    chunk results are concatenated column-wise in shard order.
+    """
+    from repro.detection.mmd import mmd_many_to_many
+
+    if not plan.is_active or len(ys) < 2:
+        return mmd_many_to_many(xs, ys, gamma)
+    backend = plan.backend_for(sum(x.nbytes for x in xs)
+                               + sum(y.nbytes for y in ys))
+    ranges = shard_ranges(len(ys), plan.shards)
+    tasks = [(xs, ys[a:b], gamma) for a, b in ranges if b > a]
+    parts = submit_shard_tasks(_task_mmd_many_chunk, tasks, backend)
+    if not parts:
+        return np.zeros((len(xs), 0))
+    return np.concatenate(parts, axis=1)
+
+
+def sharded_class_conditional_mmd_many_to_many(
+        xs: list[np.ndarray], xs_labels: list[np.ndarray],
+        ys: list[np.ndarray], ys_labels: list[np.ndarray],
+        gamma: float | None, plan: ShardPlan,
+        min_per_class: int = 2) -> np.ndarray:
+    """Class-conditional :func:`sharded_mmd_many_to_many` (same chunking)."""
+    from repro.detection.mmd import class_conditional_mmd_many_to_many
+
+    if not plan.is_active or len(ys) < 2:
+        return class_conditional_mmd_many_to_many(xs, xs_labels, ys,
+                                                  ys_labels, gamma,
+                                                  min_per_class)
+    backend = plan.backend_for(sum(x.nbytes for x in xs)
+                               + sum(y.nbytes for y in ys))
+    ranges = shard_ranges(len(ys), plan.shards)
+    tasks = [(xs, xs_labels, ys[a:b], ys_labels[a:b], gamma, min_per_class)
+             for a, b in ranges if b > a]
+    parts = submit_shard_tasks(_task_ccmmd_many_chunk, tasks, backend)
+    if not parts:
+        return np.zeros((len(xs), 0))
+    return np.concatenate(parts, axis=1)

@@ -1,0 +1,205 @@
+"""Docs and examples cannot rot: execute, parse, and link-check them.
+
+Four layers of drift protection over README.md, ``docs/*.md``, and
+``examples/*.py``:
+
+* every example script runs green under its defaults (the ``ci`` profile);
+* every fenced ``python`` block in the docs executes green (each document's
+  blocks run as one script, in order, in a scratch directory and a clean
+  subprocess so registry side effects cannot leak into the test session);
+* every ``python -m repro ...`` command shown in a ``bash`` fence parses
+  against the real CLI parser (flags, choices, and dataset names stay
+  valid), and ``json``/``toml`` fences parse with the real parsers;
+* every relative markdown link (and heading anchor) resolves.
+
+The execution-heavy tests carry the ``docs`` marker: CI runs them in the
+dedicated docs job, and `pytest -m "not slow and not docs"` skips them for
+the quick tier-1 loop.  Annotate a fence with ``<!-- docs: no-run -->`` on
+the line above to exempt it from execution (none currently need it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+NO_RUN = "<!-- docs: no-run -->"
+
+
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH", "")) \
+        + env.get("PYTHONPATH", "")
+    return env
+
+
+def _fences(path: Path) -> list[tuple[str, int, str]]:
+    """(language, first line number, body) for every fenced block."""
+    blocks: list[tuple[str, int, str]] = []
+    lines = path.read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        match = re.match(r"^```(\w+)\s*$", lines[i])
+        if not match:
+            i += 1
+            continue
+        lang, start = match.group(1), i + 1
+        body: list[str] = []
+        i += 1
+        while i < len(lines) and not lines[i].startswith("```"):
+            body.append(lines[i])
+            i += 1
+        i += 1  # closing fence
+        preceding = next((l for l in reversed(lines[:start - 1]) if l.strip()),
+                         "")
+        if NO_RUN not in preceding:
+            blocks.append((lang, start + 1, "\n".join(body)))
+    return blocks
+
+
+def _doc_id(path: Path) -> str:
+    return str(path.relative_to(ROOT))
+
+
+@pytest.mark.docs
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_executes(script: Path, tmp_path):
+    """Every example runs green under its documented defaults."""
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path, env=_subprocess_env(),
+        capture_output=True, text=True, timeout=900,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-4000:]}")
+
+
+@pytest.mark.docs
+@pytest.mark.parametrize("doc", [d for d in DOC_FILES
+                                 if any(l == "python"
+                                        for l, _n, _b in _fences(d))],
+                         ids=_doc_id)
+def test_markdown_python_blocks_execute(doc: Path, tmp_path):
+    """A document's python fences run as one script, in order."""
+    pieces = []
+    for lang, line, body in _fences(doc):
+        if lang == "python":
+            pieces.append(f"# --- {doc.name} line {line}\n{body}")
+    script = tmp_path / f"{doc.stem}_snippets.py"
+    script.write_text("\n\n".join(pieces) + "\n")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path, env=_subprocess_env(),
+        capture_output=True, text=True, timeout=900,
+    )
+    assert proc.returncode == 0, (
+        f"python snippets in {_doc_id(doc)} failed (block boundaries are "
+        f"marked with '# --- {doc.name} line N')\n--- stdout ---\n"
+        f"{proc.stdout[-2000:]}\n--- stderr ---\n{proc.stderr[-4000:]}")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_markdown_data_blocks_parse(doc: Path):
+    """json/toml fences must parse with the real parsers."""
+    for lang, line, body in _fences(doc):
+        if lang == "json":
+            try:
+                json.loads(body)
+            except json.JSONDecodeError as exc:
+                pytest.fail(f"{_doc_id(doc)} line {line}: bad JSON: {exc}")
+        elif lang == "toml":
+            tomllib = pytest.importorskip("tomllib")
+            try:
+                tomllib.loads(body)
+            except tomllib.TOMLDecodeError as exc:
+                pytest.fail(f"{_doc_id(doc)} line {line}: bad TOML: {exc}")
+
+
+def _cli_commands(doc: Path) -> list[tuple[int, list[str]]]:
+    """Every `python -m repro ...` invocation in the doc's bash fences."""
+    commands: list[tuple[int, list[str]]] = []
+    for lang, line, body in _fences(doc):
+        if lang != "bash":
+            continue
+        logical = ""
+        for offset, raw in enumerate(body.splitlines()):
+            stripped = (logical + " " + raw.strip()).strip() if logical \
+                else raw.strip()
+            if stripped.endswith("\\"):
+                logical = stripped[:-1]
+                continue
+            logical = ""
+            if not stripped or stripped.startswith("#"):
+                continue
+            tokens = shlex.split(stripped, comments=True)
+            if not tokens:
+                continue
+            if tokens[:2] == ["python", "-m"] and tokens[2:3] == ["repro"]:
+                commands.append((line + offset, tokens[3:]))
+            elif tokens[0] == "python" and len(tokens) > 1 \
+                    and tokens[1].endswith(".py"):
+                assert (ROOT / tokens[1]).exists(), (
+                    f"{_doc_id(doc)} line {line + offset}: "
+                    f"script {tokens[1]} does not exist")
+    return commands
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_cli_lines_parse(doc: Path):
+    """Every documented CLI invocation must survive the argparse parser."""
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    for line, args in _cli_commands(doc):
+        try:
+            parser.parse_args(args)
+        except SystemExit:
+            pytest.fail(f"{_doc_id(doc)} line {line}: CLI line does not "
+                        f"parse: python -m repro {' '.join(args)}")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    slug = re.sub(r"[^\w\- ]", "", heading.strip().lower())
+    return slug.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+        elif not in_fence and line.startswith("#"):
+            anchors.add(_slug(line.lstrip("#")))
+    return anchors
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_relative_links_resolve(doc: Path):
+    """Relative links point at real files; anchors at real headings."""
+    text = doc.read_text()
+    problems = []
+    for target in re.findall(r"\[[^\]]*\]\(([^)\s]+)\)", text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = doc if not path_part else (doc.parent / path_part).resolve()
+        if not dest.exists():
+            problems.append(f"{target}: file not found")
+            continue
+        if anchor and dest.suffix == ".md" and anchor not in _anchors(dest):
+            problems.append(f"{target}: no heading for anchor '#{anchor}'")
+    assert not problems, f"broken links in {_doc_id(doc)}: {problems}"

@@ -1,0 +1,162 @@
+"""ExperimentPlan (de)serialization: lossless round-trips, schema drift.
+
+The plan file format is public API (``docs/PLAN_SCHEMA.md``); these tests
+pin it from three directions: a plan with *every* field set round-trips
+losslessly through JSON, the TOML reader resolves to the same plan as the
+equivalent JSON, and every key ``to_dict`` can emit is documented in the
+schema reference (so a new field cannot ship undocumented).
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.data.registry import get_dataset_spec
+from repro.experiments.plan import ExperimentPlan, load_plan, save_plan
+from repro.federation.async_engine import FederationConfig
+from repro.federation.availability import AvailabilityConfig
+from repro.harness.profiles import RunSettings
+from repro.federation.rounds import RoundConfig
+from repro.nn.training import LocalTrainingConfig
+
+DOCS = Path(__file__).parent.parent / "docs"
+
+
+def _full_plan() -> ExperimentPlan:
+    """A plan exercising every serializable field at a non-default value."""
+    federation = FederationConfig(
+        mode="buffered", min_reports=4, max_wait_rounds=2,
+        staleness_policy="polynomial", staleness_alpha=0.4,
+        staleness_gamma=0.6,
+        availability=AvailabilityConfig(
+            dropout_prob=0.3, straggler_prob=0.2, straggler_zipf_a=2.5,
+            max_delay_rounds=6, outage_prob=0.05, outage_fraction=0.4,
+            outage_rounds=3))
+    spec_override = dataclasses.replace(
+        get_dataset_spec("fashion_mnist_sim"), num_parties=6,
+        train_per_window=32, test_per_window=16)
+    settings_override = RunSettings(
+        rounds_burn_in=4, rounds_per_window=3, eval_parties=4,
+        dtype="float32", shards=3,
+        federation=FederationConfig(mode="async"),
+        round_config=RoundConfig(
+            participants_per_round=5,
+            local=LocalTrainingConfig(epochs=2, batch_size=16, lr=0.1,
+                                      momentum=0.8, weight_decay=1e-4,
+                                      prox_mu=0.01,
+                                      max_batches_per_epoch=4)))
+    return ExperimentPlan.build(
+        "fashion_mnist_sim",
+        {"fedavg": "fedavg",
+         "prox-strong": {"method": "fedprox", "kwargs": {"prox_mu": 0.1}}},
+        seeds=(0, 1, 2), profile="small", name="full-schema",
+        dtype="float32", shards=2, federation=federation,
+        spec_override=spec_override, settings_override=settings_override)
+
+
+class TestLosslessRoundTrip:
+    def test_dict_round_trip_all_fields(self):
+        plan = _full_plan()
+        assert ExperimentPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_file_round_trip_all_fields(self, tmp_path):
+        plan = _full_plan()
+        path = save_plan(tmp_path / "plan.json", plan)
+        loaded = load_plan(path)
+        assert loaded == plan
+        # ... and the serialized form itself is stable across a second trip.
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_new_fields_survive_the_trip(self, tmp_path):
+        """The PR-4 additions specifically: shards next to dtype/federation."""
+        plan = _full_plan()
+        data = json.loads(save_plan(tmp_path / "p.json", plan).read_text())
+        assert data["shards"] == 2
+        assert data["dtype"] == "float32"
+        assert data["federation"]["mode"] == "buffered"
+        assert data["settings_override"]["shards"] == 3
+        loaded = load_plan(tmp_path / "p.json")
+        assert loaded.shards == 2
+        assert loaded.settings_override.shards == 3
+        _spec, settings = loaded.resolve()
+        assert settings.shards == 2  # plan-level knob wins over override
+
+    def test_defaults_stay_omitted(self):
+        """Optional knobs absent from the file stay absent on re-save."""
+        plan = ExperimentPlan.build("fashion_mnist_sim", ["fedavg"])
+        data = plan.to_dict()
+        for key in ("dtype", "federation", "shards", "spec_override",
+                    "settings_override"):
+            assert key not in data
+        assert ExperimentPlan.from_dict(data) == plan
+
+
+class TestTomlReader:
+    def test_toml_resolves_like_json(self, tmp_path):
+        pytest.importorskip("tomllib")
+        toml_text = """
+name = "dropout-sweep"
+dataset = "fashion_mnist_sim"
+profile = "ci"
+seeds = [0, 1]
+dtype = "float32"
+shards = 2
+
+[strategies.fedavg]
+method = "fedavg"
+
+[strategies.prox-strong]
+method = "fedprox"
+kwargs = {prox_mu = 0.1}
+
+[federation]
+mode = "buffered"
+min_reports = 4
+max_wait_rounds = 2
+staleness_policy = "polynomial"
+
+[federation.availability]
+dropout_prob = 0.3
+straggler_prob = 0.2
+"""
+        path = tmp_path / "plan.toml"
+        path.write_text(toml_text)
+        plan = load_plan(path)
+        expected = ExperimentPlan.build(
+            "fashion_mnist_sim",
+            {"fedavg": "fedavg",
+             "prox-strong": {"method": "fedprox", "kwargs": {"prox_mu": 0.1}}},
+            seeds=(0, 1), profile="ci", name="dropout-sweep",
+            dtype="float32", shards=2,
+            federation=FederationConfig(
+                mode="buffered", min_reports=4, max_wait_rounds=2,
+                staleness_policy="polynomial",
+                availability=AvailabilityConfig(dropout_prob=0.3,
+                                                straggler_prob=0.2)))
+        assert plan == expected
+
+
+class TestSchemaDocDrift:
+    def test_every_emitted_key_is_documented(self):
+        """docs/PLAN_SCHEMA.md must mention every key to_dict can emit."""
+        doc = (DOCS / "PLAN_SCHEMA.md").read_text()
+        data = _full_plan().to_dict()
+
+        def keys_of(obj, prefix=""):
+            out = set()
+            if isinstance(obj, dict):
+                for k, v in obj.items():
+                    if prefix == "strategies.":
+                        # strategy labels are user-chosen, not schema keys
+                        out |= keys_of(v, "strategy-entry.")
+                        continue
+                    out.add(k)
+                    out |= keys_of(v, f"{k}.")
+            return out
+
+        undocumented = {k for k in keys_of(data) if f"`{k}`" not in doc}
+        assert not undocumented, (
+            f"plan keys missing from docs/PLAN_SCHEMA.md: "
+            f"{sorted(undocumented)}")

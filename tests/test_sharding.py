@@ -1,0 +1,402 @@
+"""Sharded parameter plane: facade parity, kernel differentials, full runs.
+
+Three layers of guarantees, mirroring the acceptance criteria of the
+sharding work:
+
+1. **`--shards 1` is bitwise.**  The default plan never constructs a
+   sharded bank, so every strategy reproduces the single-process results
+   byte for byte (fast check here; the full five-baselines+shiftex sweep is
+   in the slow suite).
+2. **`shards >= 2` is exact-sum-order equivalent.**  Per-shard partials are
+   combined in ascending shard order, so sharded kernels match the
+   unsharded ones to floating-point reassociation noise, and the
+   ``process`` and ``serial`` backends match each other *bitwise*.
+3. **API parity.**  ``ShardedParamBank`` honors the ``ParamBank`` row
+   lifecycle (refcounts, copy-on-write splits, slot recycling) so every
+   bank consumer works unchanged.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.federated import FederatedShiftDataset
+from repro.experiments.registry import build_strategy
+from repro.experts.consolidation import consolidate_experts
+from repro.experts.matching import WindowMatchScorer, match_cluster_to_expert
+from repro.experts.registry import ExpertRegistry
+from repro.federation.async_engine import FederationConfig, FederationEngine
+from repro.federation.rounds import run_fl_round
+from repro.harness.runner import run_strategy
+from repro.utils.params import (
+    ParamBank,
+    ShardedParamBank,
+    flatten_params,
+    make_param_bank,
+)
+from repro.utils.rng import spawn_rng
+from repro.utils.sharding import (
+    ShardPlan,
+    resolve_shard_plan,
+    shard_ranges,
+    sharded_class_conditional_mmd_to_many,
+    sharded_mmd_to_many,
+)
+from repro.utils.serialization import run_result_to_dict
+from repro.detection.mmd import class_conditional_mmd_to_many, mmd_to_many
+from tests.conftest import make_context, make_run_settings, make_tiny_spec
+
+SERIAL2 = ShardPlan(shards=2, backend="serial")
+SERIAL3 = ShardPlan(shards=3, backend="serial")
+
+
+def _comparable(result) -> dict:
+    """A run result as a dict minus wall-clock noise (profiler timings)."""
+    out = run_result_to_dict(result)
+    out.pop("profiler", None)
+    return out
+
+
+def _param_sets(rng, n, shapes=((5, 3), (3,))):
+    return [[rng.normal(size=s) for s in shapes] for _ in range(n)]
+
+
+class TestShardPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(shards=0)
+        with pytest.raises(ValueError):
+            ShardPlan(backend="threads")
+
+    def test_resolution(self):
+        assert resolve_shard_plan(None) == ShardPlan()
+        assert resolve_shard_plan(3) == ShardPlan(shards=3)
+        assert resolve_shard_plan({"shards": 2, "backend": "serial"}) == SERIAL2
+        assert resolve_shard_plan(SERIAL3) is SERIAL3
+        assert not ShardPlan().is_active and SERIAL2.is_active
+        assert ShardPlan().resolved_backend() == "serial"
+        assert SERIAL2.resolved_backend() == "serial"
+        assert ShardPlan(shards=2, backend="process").resolved_backend() == \
+            "process"
+
+    def test_serialization_round_trip(self):
+        assert ShardPlan.from_dict(SERIAL3.to_dict()) == SERIAL3
+
+    def test_shard_ranges(self):
+        assert shard_ranges(7, 3) == [(0, 3), (3, 5), (5, 7)]
+        assert shard_ranges(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+        assert sum(b - a for a, b in shard_ranges(100, 7)) == 100
+
+    def test_make_param_bank_gating(self, rng):
+        sets = _param_sets(rng, 2)
+        spec = ParamBank.from_param_sets(sets).spec
+        assert type(make_param_bank(spec)) is ParamBank
+        assert type(make_param_bank(spec, plan=1)) is ParamBank
+        sharded = make_param_bank(spec, plan=SERIAL2)
+        assert type(sharded) is ShardedParamBank
+        sharded.close()
+
+
+class TestShardedBankParity:
+    """The facade honors the ParamBank row lifecycle op for op."""
+
+    def test_kernels_match_unsharded(self, rng):
+        sets = _param_sets(rng, 9)
+        plain = ParamBank.from_param_sets(sets)
+        sharded = ShardedParamBank.from_param_sets(sets, plan=SERIAL3)
+        rows = list(range(9))
+        weights = rng.uniform(0.5, 4.0, size=9)
+        assert np.array_equal(plain.matrix(rows), sharded.matrix(rows))
+        np.testing.assert_allclose(sharded.weighted_combine(weights, rows),
+                                   plain.weighted_combine(weights, rows),
+                                   rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(sharded.cosine_matrix(rows),
+                                   plain.cosine_matrix(rows),
+                                   rtol=1e-10, atol=1e-12)
+        sharded.close()
+
+    def test_row_lifecycle(self, rng):
+        sets = _param_sets(rng, 4)
+        bank = ShardedParamBank.from_param_sets(sets, plan=SERIAL2)
+        assert bank.n_rows == 4 and bank.n_slots == 4
+        # copy-on-write: share, then split on ensure_private
+        row = bank.share(0)
+        assert row == 0 and bank.is_shared(0) and bank.refcount(0) == 2
+        split = bank.ensure_private(0)
+        assert split != 0 and bank.refcount(0) == 1 and bank.refcount(split) == 1
+        assert np.array_equal(bank.row(split), bank.row(0))
+        bank.write_row(split, sets[1])
+        assert np.array_equal(bank.row(split), bank.row(1))
+        assert not np.array_equal(bank.row(split), bank.row(0))
+        # release to zero recycles the slot
+        bank.release(split)
+        with pytest.raises(KeyError):
+            bank.row(split)
+        reused = bank.alloc(sets[2])
+        assert reused == split  # freed gid comes back first
+        # dead-row guards
+        bank.release(reused)
+        with pytest.raises(KeyError):
+            bank.release(reused)
+        bank.close()
+
+    def test_row_views_alias_storage(self, rng):
+        sets = _param_sets(rng, 3)
+        bank = ShardedParamBank.from_param_sets(sets, plan=SERIAL2)
+        views = bank.row_params(1)
+        views[0][0, 0] = 123.0
+        assert bank.row(1)[0] == 123.0
+        ro = bank.row_params(1, writeable=False)
+        with pytest.raises(ValueError):
+            ro[0][0, 0] = 1.0
+        bank.close()
+
+    def test_growth_preserves_rows(self, rng):
+        sets = _param_sets(rng, 2)
+        bank = ShardedParamBank.from_param_sets(sets, plan=SERIAL2)
+        before = bank.row(0).copy()
+        rows = [bank.alloc(sets[i % 2]) for i in range(40)]  # force growth
+        assert np.array_equal(bank.row(0), before)
+        assert np.array_equal(bank.row(rows[-1]), bank.row(rows[-3]))
+        assert bank.n_rows == 42
+        bank.close()
+
+    def test_astype_round_trip(self, rng):
+        sets = _param_sets(rng, 5)
+        bank = ShardedParamBank.from_param_sets(sets, plan=SERIAL2)
+        bank.share(2)
+        f32 = bank.astype(np.float32)
+        assert f32.dtype == np.dtype(np.float32)
+        assert f32.refcount(2) == 2
+        back = f32.astype(np.float64)
+        np.testing.assert_allclose(back.matrix(list(range(5))),
+                                   bank.matrix(list(range(5))), rtol=1e-7)
+        for b in (bank, f32, back):
+            b.close()
+
+    def test_weight_validation_matches_parambank(self, rng):
+        sets = _param_sets(rng, 3)
+        bank = ShardedParamBank.from_param_sets(sets, plan=SERIAL2)
+        with pytest.raises(ValueError):
+            bank.weighted_combine([1.0, 2.0], [0, 1, 2])
+        with pytest.raises(ValueError):
+            bank.weighted_combine([0.0, 0.0, 0.0], [0, 1, 2])
+        bank.close()
+
+
+class TestProcessBackend:
+    """The worker pool reproduces the serial backend bitwise."""
+
+    def test_combine_and_cosine_bitwise(self, rng):
+        sets = _param_sets(rng, 6)
+        weights = rng.uniform(1.0, 5.0, size=6)
+        rows = list(range(6))
+        serial = ShardedParamBank.from_param_sets(sets, plan=SERIAL2)
+        process = ShardedParamBank.from_param_sets(
+            sets, plan=ShardPlan(shards=2, backend="process"))
+        assert np.array_equal(process.weighted_combine(weights, rows),
+                              serial.weighted_combine(weights, rows))
+        assert np.array_equal(process.cosine_matrix(rows),
+                              serial.cosine_matrix(rows))
+        serial.close()
+        process.close()
+
+    def test_mmd_fanout_bitwise(self, rng):
+        x = rng.normal(size=(24, 6))
+        xl = rng.integers(0, 3, size=24)
+        ys = [rng.normal(size=(12, 6)) + i for i in range(5)]
+        yls = [rng.integers(0, 3, size=12) for _ in range(5)]
+        serial = sharded_mmd_to_many(x, ys, 0.2, SERIAL2)
+        process = sharded_mmd_to_many(
+            x, ys, 0.2, ShardPlan(shards=2, backend="process"))
+        assert np.array_equal(serial, process)
+        cc_serial = sharded_class_conditional_mmd_to_many(
+            x, xl, ys, yls, 0.2, SERIAL2)
+        cc_process = sharded_class_conditional_mmd_to_many(
+            x, xl, ys, yls, 0.2, ShardPlan(shards=2, backend="process"))
+        assert np.array_equal(cc_serial, cc_process)
+
+
+class TestShardedScoring:
+    def test_sharded_mmd_matches_serial(self, rng):
+        x = rng.normal(size=(30, 5))
+        ys = [rng.normal(size=(10 + i, 5)) for i in range(5)]
+        np.testing.assert_allclose(sharded_mmd_to_many(x, ys, 0.3, SERIAL3),
+                                   mmd_to_many(x, ys, 0.3),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_sharded_ccmmd_matches_serial(self, rng):
+        x = rng.normal(size=(30, 5))
+        xl = rng.integers(0, 4, size=30)
+        ys = [rng.normal(size=(12, 5)) for _ in range(5)]
+        yls = [rng.integers(0, 4, size=12) for _ in range(5)]
+        np.testing.assert_allclose(
+            sharded_class_conditional_mmd_to_many(x, xl, ys, yls, 0.3, SERIAL3),
+            class_conditional_mmd_to_many(x, xl, ys, yls, 0.3),
+            rtol=1e-9, atol=1e-12)
+
+    def test_match_cluster_sharded_agrees(self, rng):
+        registry = ExpertRegistry(memory_capacity=16)
+        for i in range(4):
+            registry.create(_param_sets(rng, 1)[0], window=0,
+                            embeddings=rng.normal(size=(20, 6)) + 3 * i,
+                            rng=rng)
+        cluster = rng.normal(size=(25, 6)) + 3
+        plain = match_cluster_to_expert(cluster, registry, epsilon=5.0,
+                                        gamma=0.2)
+        sharded = match_cluster_to_expert(cluster, registry, epsilon=5.0,
+                                          gamma=0.2, shards=SERIAL2)
+        assert sharded.expert_id == plain.expert_id
+        assert sharded.matched == plain.matched
+        np.testing.assert_allclose(
+            [sharded.scores[k] for k in sorted(sharded.scores)],
+            [plain.scores[k] for k in sorted(plain.scores)],
+            rtol=1e-9, atol=1e-12)
+
+    def test_window_scorer_tracks_registry_mutation(self, rng):
+        """Batch scores stay valid as earlier clusters mutate the pool."""
+        registry = ExpertRegistry(memory_capacity=16)
+        for i in range(3):
+            registry.create(_param_sets(rng, 1)[0], window=0,
+                            embeddings=rng.normal(size=(24, 6)) + 4 * i,
+                            labels=rng.integers(0, 3, size=24), rng=rng)
+        clusters = [rng.normal(size=(20, 6)) + 4 * i for i in (0, 1, 5)]
+        labels = [rng.integers(0, 3, size=20) for _ in clusters]
+        scorer = WindowMatchScorer(registry, clusters, labels, gamma=0.2,
+                                   shards=SERIAL2)
+        for i in range(len(clusters)):
+            batch = scorer.match(i, epsilon=1.0)
+            fresh = match_cluster_to_expert(clusters[i], registry, epsilon=1.0,
+                                            gamma=0.2, cluster_labels=labels[i])
+            assert batch.matched == fresh.matched
+            assert batch.expert_id == fresh.expert_id
+            np.testing.assert_allclose(
+                [batch.scores[k] for k in sorted(batch.scores)],
+                [fresh.scores[k] for k in sorted(fresh.scores)],
+                rtol=1e-9, atol=1e-12)
+            # Mimic the server: a match refreshes the expert's memory, a
+            # miss creates a new expert — later clusters must see both.
+            if batch.matched:
+                expert = registry.get(batch.expert_id)
+                expert.memory.update(clusters[i], rng, labels=labels[i])
+            else:
+                registry.create(_param_sets(rng, 1)[0], window=1,
+                                embeddings=clusters[i], labels=labels[i],
+                                rng=rng)
+
+
+class TestShardedRegistry:
+    def test_pool_ops_match_unsharded(self, rng):
+        sets = _param_sets(rng, 5)
+        plain = ExpertRegistry()
+        sharded = ExpertRegistry(shard_plan=SERIAL2)
+        for registry in (plain, sharded):
+            for s in sets:
+                e = registry.create([p.copy() for p in s], window=0)
+                e.train_rounds = 1
+        assert type(sharded.bank) is ShardedParamBank
+        np.testing.assert_allclose(sharded.param_matrix(),
+                                   plain.param_matrix(), rtol=0, atol=0)
+        np.testing.assert_allclose(sharded.cosine_matrix(),
+                                   plain.cosine_matrix(),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_clone_and_consolidation_on_sharded_bank(self, rng):
+        registry = ExpertRegistry(memory_capacity=8, shard_plan=SERIAL2)
+        base = _param_sets(rng, 1)[0]
+        e0 = registry.create(base, window=0,
+                             embeddings=rng.normal(size=(12, 4)), rng=rng)
+        e1 = registry.clone(e0.expert_id, window=1,
+                            embeddings=rng.normal(size=(12, 4)), rng=rng)
+        assert e1.is_cow_shared and e0.is_cow_shared
+        e1.set_params([p + 1e-9 for p in e0.params])  # near-duplicate split
+        assert not e0.is_cow_shared
+        e0.train_rounds = e1.train_rounds = 1
+        events = consolidate_experts(registry, tau=0.9, window=2,
+                                     rng=spawn_rng(0, "merge"),
+                                     shards=SERIAL2)
+        assert len(events) == 1 and len(registry) == 1
+
+
+class TestShardedRounds:
+    def test_round_matches_unsharded(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        params = ctx.model_factory().get_params()
+        plain, plain_stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                          ctx.round_config, round_tag=(0, 0))
+        sharded, sharded_stats = run_fl_round(
+            ctx.parties, [0, 1, 2, 3], params, ctx.round_config,
+            round_tag=(0, 0), shards=SERIAL2)
+        np.testing.assert_allclose(flatten_params(sharded),
+                                   flatten_params(plain),
+                                   rtol=1e-12, atol=1e-14)
+        assert sharded_stats == plain_stats
+
+    def test_buffered_engine_with_sharded_banks(self, tiny_spec, tiny_dataset):
+        ctx = make_context(tiny_spec, tiny_dataset)
+        params = ctx.model_factory().get_params()
+        plain, _ = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                ctx.round_config, round_tag=(0, 0))
+        engine = FederationEngine(FederationConfig(mode="buffered"),
+                                  seed=0, num_parties=8, shard_plan=SERIAL2)
+        engine.advance((0, 0))
+        got, stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                  ctx.round_config, round_tag=(0, 0),
+                                  engine=engine, stream="g")
+        assert stats.aggregated
+        assert type(engine._buffers["g"].bank) is ShardedParamBank
+        np.testing.assert_allclose(flatten_params(got), flatten_params(plain),
+                                   rtol=1e-12, atol=1e-14)
+
+
+class TestShardedRuns:
+    def test_fedavg_shards1_bitwise_and_shards2_close(self):
+        spec = make_tiny_spec(name="unit_shard_fast", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=31)
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings()
+        reference = run_strategy(build_strategy("fedavg"), spec, base, seed=0,
+                                 dataset=ds)
+        explicit = run_strategy(build_strategy("fedavg"), spec,
+                                dataclasses.replace(base, shards=1), seed=0,
+                                dataset=ds)
+        assert _comparable(explicit) == _comparable(reference)
+        sharded = run_strategy(build_strategy("fedavg"), spec,
+                               dataclasses.replace(base, shards=2), seed=0,
+                               dataset=ds)
+        for ref_w, got_w in zip(reference.window_series,
+                                sharded.window_series):
+            for ref_a, got_a in zip(ref_w, got_w):
+                assert abs(ref_a - got_a) < 1.0  # accuracy percent
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("method", ["fedavg", "fedprox", "oort",
+                                        "fielding", "feddrift", "shiftex"])
+    def test_all_strategies_shards1_bitwise(self, method):
+        """--shards 1 (the default) reproduces every strategy bitwise."""
+        spec = make_tiny_spec(name="unit_shard_bitwise", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=37)
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings()
+        reference = run_strategy(build_strategy(method), spec, base, seed=0,
+                                 dataset=ds)
+        explicit = run_strategy(build_strategy(method), spec,
+                                dataclasses.replace(base, shards=1), seed=0,
+                                dataset=ds)
+        assert _comparable(explicit) == _comparable(reference)
+
+    @pytest.mark.slow
+    def test_shiftex_sharded_run_structurally_sound(self):
+        """A sharded ShiftEx run completes with a sane expert pool."""
+        spec = make_tiny_spec(name="unit_shard_shiftex", num_parties=6,
+                              num_windows=3, seed=41)
+        ds = FederatedShiftDataset(spec)
+        settings = dataclasses.replace(make_run_settings(), shards=2)
+        result = run_strategy(build_strategy("shiftex"), spec, settings,
+                              seed=0, dataset=ds)
+        assert len(result.window_series) == 3
+        assert result.state_log[-1]["num_models"] >= 1
+        assert all(np.isfinite(a) for w in result.window_series for a in w)
