@@ -122,7 +122,6 @@ def test_bench_ablation_flips_balance(benchmark):
     """FLIPS cohorts pool to flatter label distributions than uniform picks."""
     from repro.flips import FlipsSelector, label_balance_score
 
-    rng = spawn_rng(0, "flips-ablation")
     num_parties, num_classes = 30, 6
     histograms = {}
     for pid in range(num_parties):

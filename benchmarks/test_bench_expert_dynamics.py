@@ -52,7 +52,6 @@ def test_bench_expert_dynamics(benchmark):
         w0_live = [e for e, n in history[0].items() if n > 0]
         assert len(w0_live) == 1, f"{dataset}: W0 must use one expert"
         # Later: specialization appears.
-        final_live = [e for e, n in history[-1].items() if n > 0]
         ever_live = {e for dist in history for e, n in dist.items() if n > 0}
         assert len(ever_live) >= 2, f"{dataset}: shifts must spawn experts"
 

@@ -12,6 +12,11 @@ pre-refactor list-based code path:
 * **matching** — scoring one covariate cluster against every expert memory:
   per-expert MMD loop vs the batched estimator sharing the cluster-side
   kernel blocks.
+* **secure_masking** — one secure-aggregation cycle over a cohort (mask
+  every update, aggregate the masked sum): the legacy per-tensor list path
+  (per-tensor Gaussian masks and a Python list-sum, cancellation only to
+  float rounding) vs the bank-resident path (bit-domain seals on bank rows
+  and the ``weighted_combine`` kernel, cancellation exact).
 
 Each kernel is also checked for numerical agreement with its baseline, so
 the speedup never comes from computing something different.  Results land in
@@ -30,6 +35,7 @@ import numpy as np
 import pytest
 
 from repro.detection.mmd import mmd, mmd_many_to_many, mmd_to_many
+from repro.privacy.secure_aggregation import SecureAggregationSession
 from repro.utils.params import (
     ParamBank,
     ParamSpec,
@@ -57,6 +63,8 @@ SIG_ROWS = 64      # latent-memory signature rows per expert
 CLUSTER_ROWS = 256  # covariate-cluster rows scored against the pool
 EMBED_DIM = 48
 GAMMA = 0.05
+
+SECURE_COHORT = 8  # parties per secure-aggregation session (7 pairs each)
 
 # Sharded-bench sizes: the `small` profile's pool shapes.  Matching scores
 # clusters subsampled to the latent-memory capacity (64 rows) against every
@@ -173,6 +181,84 @@ def _bench_matching(rng: np.random.Generator) -> dict:
     }
 
 
+def _legacy_mask_update(shared_seed, party_id, cohort, update):
+    """The pre-rewrite party-side masking: per-tensor draws, per-tensor adds.
+
+    Reimplements the historical ``SecureAggregationSession.mask_update``:
+    for every pair, one RNG draw per tensor shape and one in-place add per
+    tensor.  The mask *values* are identical to the flat path's (generators
+    fill arrays sequentially), so the comparison times pure layout overhead.
+    """
+    from repro.utils.rng import spawn_rng
+
+    masked = [p.copy() for p in update]
+    for other in cohort:
+        if other == party_id:
+            continue
+        low, high = sorted((party_id, other))
+        rng = spawn_rng(shared_seed, "pairwise-mask", low, high)
+        mask = [rng.normal(size=p.shape) for p in update]
+        sign = 1.0 if party_id < other else -1.0
+        for m_dst, m_src in zip(masked, mask):
+            m_dst += sign * m_src
+    return masked
+
+
+def _legacy_masked_cycle(shared_seed, cohort, updates):
+    """The pre-rewrite masked round: per-tensor masks, list-based sum."""
+    masked = [_legacy_mask_update(shared_seed, pid, cohort, update)
+              for pid, update in zip(cohort, updates)]
+    total = zeros_like_params(updates[0])
+    for m in masked:
+        for t, q in zip(total, m):
+            t += q
+    return [t / len(cohort) for t in total]
+
+
+def _bench_secure_masking(rng: np.random.Generator) -> dict:
+    """One full mask-and-aggregate cycle over a cohort, both paths.
+
+    The legacy path masks per tensor and cancels masks only in the float
+    sum; the bank path seals rows in the exact bit domain and aggregates
+    with ``weighted_combine``, so its agreement check is *bit equality*
+    with the unmasked mean — the speedup and the exactness come from the
+    same rewrite.
+    """
+    updates = _make_param_sets(rng, SECURE_COHORT)
+    cohort = list(range(SECURE_COHORT))
+    spec = ParamSpec.of(updates[0])
+    bank = ParamBank.from_param_sets(updates)
+    rows = list(range(SECURE_COHORT))
+    source = bank.matrix(rows).copy()
+    ones = np.ones(SECURE_COHORT)
+    plain = bank.weighted_combine(ones, rows)
+
+    def sealed_cycle():
+        for i, row in enumerate(rows):
+            bank.row(row)[...] = source[i]
+        session = SecureAggregationSession(cohort, spec, shared_seed=5)
+        for pid, row in zip(cohort, rows):
+            session.seal_row(pid, bank.row(row))
+        return session.combine_rows(bank, ones, list(zip(cohort, rows)))
+
+    legacy = flatten_params(_legacy_masked_cycle(5, cohort, updates))
+    np.testing.assert_allclose(legacy, plain, rtol=1e-8, atol=1e-10)
+    np.testing.assert_array_equal(sealed_cycle(), plain)
+
+    baseline_s = _best_of(lambda: _legacy_masked_cycle(5, cohort, updates))
+    vectorized_s = _best_of(sealed_cycle)
+    return {
+        "kernel": "masked cohort aggregation: per-tensor lists vs sealed rows",
+        "cohort": SECURE_COHORT,
+        "n_tensors": len(_SHAPES),
+        "dim": spec.total_size,
+        "baseline_s": baseline_s,
+        "vectorized_s": vectorized_s,
+        "speedup": baseline_s / vectorized_s,
+        "exact_cancellation": True,
+    }
+
+
 def _bench_aggregation_sharded(rng: np.random.Generator) -> dict:
     """Unsharded matvec vs per-shard partials (serial and process backends).
 
@@ -283,6 +369,7 @@ def bench_results() -> dict:
         "aggregation": _bench_aggregation(rng),
         "consolidation": _bench_consolidation(rng),
         "matching": _bench_matching(rng),
+        "secure_masking": _bench_secure_masking(rng),
         "aggregation_sharded": _bench_aggregation_sharded(rng),
         "matching_sharded": _bench_matching_sharded(rng),
         "matching_multicluster": _bench_matching_multicluster(rng),

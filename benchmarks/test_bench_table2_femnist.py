@@ -11,7 +11,6 @@ from benchmarks.conftest import (
     run_dataset_comparison,
     write_artifact,
 )
-from repro.harness.comparison import expert_distribution_table
 
 
 def test_bench_table2_femnist(benchmark):

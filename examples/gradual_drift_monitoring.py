@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.data import apply_corruption
 from repro.data.images import ImageDomainSpec, SyntheticImageGenerator
 from repro.detection import (
     DriftMonitor,

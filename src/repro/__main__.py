@@ -180,7 +180,9 @@ def cmd_compare(args) -> int:
         federation = _federation_from_args(args)
         plan = ExperimentPlan.build(args.dataset, methods, seeds=seeds,
                                     profile=args.profile, dtype=args.dtype,
-                                    federation=federation, shards=args.shards)
+                                    federation=federation, shards=args.shards,
+                                    secure_aggregation=(True if args.secure_agg
+                                                        else None))
         result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
     except (ValueError, KeyError) as exc:
         print(str(exc).strip("'\""), file=sys.stderr)
@@ -259,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "memory shards so aggregation and expert "
                                 "scoring fan out over processes (default 1: "
                                 "in-process, bitwise-identical results)")
+    p_compare.add_argument("--secure-agg", action="store_true",
+                           help="mask every round under pairwise secure "
+                                "aggregation: party updates stay sealed in "
+                                "their bank rows (including async buffers) "
+                                "until aggregation; sealing is exact, so "
+                                "results match the unmasked run bit for bit")
     p_compare.add_argument("--jobs", type=int, default=1,
                            help="run the strategy x seed grid over N processes")
     p_compare.add_argument("--progress", action="store_true",

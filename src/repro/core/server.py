@@ -407,7 +407,7 @@ class ShiftExStrategy(ContinualStrategy):
                 ctx.parties, participants, expert.params, ctx.round_config,
                 round_tag=(window, round_index, eid),
                 engine=ctx.federation, stream=("expert", eid),
-                shards=ctx.shard_plan,
+                shards=ctx.shard_plan, secure=ctx.secure_aggregation,
             )
             expert.set_params(new_params)
             expert.train_rounds += 1
@@ -431,7 +431,7 @@ class ShiftExStrategy(ContinualStrategy):
             ctx.parties, participants, expert0.params, ctx.round_config,
             round_tag=(window, round_index),
             engine=ctx.federation, stream=("expert", expert0.expert_id),
-            shards=ctx.shard_plan,
+            shards=ctx.shard_plan, secure=ctx.secure_aggregation,
         )
         expert0.set_params(new_params)
         expert0.train_rounds += 1

@@ -101,6 +101,12 @@ class ExperimentPlan:
     and the expert pool split across.  It overrides the profile settings'
     ``shards`` and serializes with the plan; ``None`` defers to the profile
     (whose default, 1, is the bitwise single-process path).
+
+    ``secure_aggregation`` declares pairwise-masked rounds (see
+    :mod:`repro.privacy.secure_aggregation`): party updates stay sealed in
+    their bank rows from training until aggregation.  ``None`` defers to
+    the profile settings (off); sealing is exact, so flipping it never
+    changes results.
     """
 
     dataset: str
@@ -113,6 +119,7 @@ class ExperimentPlan:
     dtype: str | None = None
     federation: FederationConfig | None = None
     shards: int | None = None
+    secure_aggregation: bool | None = None
 
     def __post_init__(self) -> None:
         self.strategies = tuple(self.strategies)
@@ -128,11 +135,13 @@ class ExperimentPlan:
             self.shards = int(self.shards)
             if self.shards < 1:
                 raise ValueError("shards must be at least 1 when given")
+        if self.secure_aggregation is not None:
+            self.secure_aggregation = bool(self.secure_aggregation)
         if self.federation is not None and not isinstance(self.federation,
                                                           FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
         labels = [s.label for s in self.strategies]
-        dupes = {l for l in labels if labels.count(l) > 1}
+        dupes = {label for label in labels if labels.count(label) > 1}
         if dupes:
             raise ValueError(f"duplicate strategy labels: {sorted(dupes)}")
 
@@ -144,7 +153,8 @@ class ExperimentPlan:
               settings_override: RunSettings | None = None,
               name: str = "", dtype: str | None = None,
               federation: FederationConfig | None = None,
-              shards: int | None = None) -> "ExperimentPlan":
+              shards: int | None = None,
+              secure_aggregation: bool | None = None) -> "ExperimentPlan":
         """Flexible constructor: strategies as names, mapping, or specs.
 
         ``strategies`` may be an iterable of names/StrategySpecs or a mapping
@@ -169,7 +179,8 @@ class ExperimentPlan:
                    seeds=tuple(seeds), profile=profile,
                    spec_override=spec_override,
                    settings_override=settings_override, name=name,
-                   dtype=dtype, federation=federation, shards=shards)
+                   dtype=dtype, federation=federation, shards=shards,
+                   secure_aggregation=secure_aggregation)
 
     # -------------------------------------------------------------- execution
 
@@ -197,6 +208,10 @@ class ExperimentPlan:
             settings = dataclasses.replace(settings, federation=self.federation)
         if self.shards is not None and settings.shards != self.shards:
             settings = dataclasses.replace(settings, shards=self.shards)
+        if (self.secure_aggregation is not None
+                and settings.secure_aggregation != self.secure_aggregation):
+            settings = dataclasses.replace(
+                settings, secure_aggregation=self.secure_aggregation)
         return spec, settings
 
     def run(self, executor=None, callbacks=()) -> ComparisonResult:
@@ -233,6 +248,8 @@ class ExperimentPlan:
             out["federation"] = self.federation.to_dict()
         if self.shards is not None:
             out["shards"] = self.shards
+        if self.secure_aggregation is not None:
+            out["secure_aggregation"] = self.secure_aggregation
         if self.spec_override is not None:
             out["spec_override"] = dataclasses.asdict(self.spec_override)
         if self.settings_override is not None:
@@ -267,6 +284,7 @@ class ExperimentPlan:
             federation=(FederationConfig.from_dict(data["federation"])
                         if data.get("federation") is not None else None),
             shards=data.get("shards"),
+            secure_aggregation=data.get("secure_aggregation"),
         )
 
 

@@ -38,7 +38,12 @@ suite (``tests/test_differential_aggregation.py``) pins most of them:
    via :meth:`FederationEngine.begin_window`), or stream invalidation
    (the stream's model changed shape/precision in ``_buffer_for``).
    Leaking a row strands bank capacity for the rest of the run; releasing
-   twice corrupts an unrelated report's storage.
+   twice corrupts an unrelated report's storage.  Under secure
+   aggregation (``run_round(secure=...)``) the row is additionally
+   *sealed* (bit-domain masked) from the moment training writes it:
+   aggregation is the only exit that unseals — transiently, scrubbing
+   the row before release — while the flush/invalidation exits discard
+   the report still sealed, so a flushed buffer leaks no residue.
 2. **The clock only moves forward**, exactly once per federated round via
    :meth:`FederationEngine.advance`; running a round before the first
    ``advance`` is an error.  Reports are tagged with their dispatch tick,
@@ -69,6 +74,7 @@ from repro.federation.rounds import (
     RoundConfig,
     RoundStats,
     _sync_round,
+    make_round_session,
     mean_finite_loss,
     round_dtype,
     train_cohort,
@@ -139,7 +145,13 @@ class FederationConfig:
 
 @dataclass
 class _PendingReport:
-    """One in-flight update parked in a buffer row until it arrives."""
+    """One in-flight update parked in a buffer row until it arrives.
+
+    ``session`` is the dispatch round's
+    :class:`~repro.privacy.secure_aggregation.SecureAggregationSession`
+    when the report's row is sealed (None on unmasked runs); the engine
+    uses it to unseal the row exactly when its aggregation fires.
+    """
 
     row: int
     party_id: int
@@ -147,6 +159,7 @@ class _PendingReport:
     arrival_tick: int
     num_samples: int
     mean_loss: float
+    session: object = None
 
 
 class AsyncRoundBuffer:
@@ -293,6 +306,7 @@ class FederationEngine:
                   params: Params, config: RoundConfig, round_tag: object = 0,
                   stream: object = "default", dtype=None,
                   shards: "ShardPlan | int | None" = None,
+                  secure: int | None = None,
                   ) -> tuple[Params, RoundStats]:
         """One engine-mediated round (called via ``run_fl_round``)."""
         if self.clock < 0:
@@ -309,7 +323,8 @@ class FederationEngine:
 
         if self.config.mode == "sync":
             return self._run_sync(parties, alive, dropped, participant_ids,
-                                  params, config, round_tag, dtype, plan)
+                                  params, config, round_tag, dtype, plan,
+                                  secure)
 
         spec = ParamSpec.of(params)
         bank_dtype = round_dtype(parties, list(participant_ids), params, dtype)
@@ -317,8 +332,17 @@ class FederationEngine:
                                capacity=max(len(participant_ids), 1),
                                shards=plan)
         alive_ids = [f.party_id for f in alive]
+        session = seal = None
+        if secure is not None and alive_ids:
+            # One session per dispatch cohort: its pairwise masks are
+            # namespaced by (stream, tick) so no two rounds share a stream
+            # of mask material, and each buffered report remembers which
+            # session can unseal it once its aggregation fires.
+            session, seal = make_round_session(
+                alive_ids, spec, buf.bank, secure,
+                context=("stream", stream, tick))
         rows, updates = train_cohort(parties, alive_ids, params, config,
-                                     round_tag, buf.bank)
+                                     round_tag, buf.bank, seal=seal)
         for fate, row, update in zip(alive, rows, updates):
             if update.num_samples <= 0:
                 buf.bank.release(row)  # an empty report carries nothing
@@ -329,6 +353,7 @@ class FederationEngine:
                 row=row, party_id=update.party_id, dispatch_tick=tick,
                 arrival_tick=tick + fate.delay,
                 num_samples=update.num_samples, mean_loss=update.mean_loss,
+                session=session,
             ))
 
         stats = RoundStats(
@@ -350,8 +375,27 @@ class FederationEngine:
                                 self.config.staleness_alpha,
                                 self.config.staleness_gamma)
         weights = np.array([float(r.num_samples) for r in ready]) * decay
-        new_params = spec.view(buf.bank.weighted_combine(
-            weights, [r.row for r in ready]))
+        sealed = [r for r in ready if r.session is not None]
+        if sealed:
+            # Recovery phase: unseal exactly the rows entering this
+            # aggregate (possibly spanning several dispatch sessions), run
+            # the bank kernel, and scrub the rows before they are released.
+            # The finally mirrors combine_rows: even if the kernel raises,
+            # no unmasked update stays resident in the stream buffer.
+            unsealed = []
+            try:
+                for r in sealed:
+                    r.session.unseal_row(r.party_id, buf.bank.row(r.row))
+                    unsealed.append(r)
+                new_flat = buf.bank.weighted_combine(weights,
+                                                     [r.row for r in ready])
+            finally:
+                for r in unsealed:
+                    buf.bank.row(r.row)[...] = 0.0
+            new_params = spec.view(new_flat)
+        else:
+            new_params = spec.view(buf.bank.weighted_combine(
+                weights, [r.row for r in ready]))
         stats.aggregated = True
         stats.reported = [r.party_id for r in ready]
         stats.staleness = {r.party_id: age for r, age in zip(ready, ages)}
@@ -363,7 +407,8 @@ class FederationEngine:
 
     def _run_sync(self, parties, alive, dropped, participant_ids, params,
                   config, round_tag, dtype,
-                  shards: ShardPlan | None = None) -> tuple[Params, RoundStats]:
+                  shards: ShardPlan | None = None,
+                  secure: int | None = None) -> tuple[Params, RoundStats]:
         """Blocking mode: full surviving cohort, stragglers awaited."""
         alive_ids = [f.party_id for f in alive]
         if not alive_ids:
@@ -374,7 +419,8 @@ class FederationEngine:
                 dropped=dropped, aggregated=False,
             )
         new_params, stats = _sync_round(parties, alive_ids, params, config,
-                                        round_tag, dtype=dtype, shards=shards)
+                                        round_tag, dtype=dtype, shards=shards,
+                                        secure=secure)
         stats.participants = list(participant_ids)
         stats.dropped = dropped
         self.counters["aggregations"] += 1

@@ -12,16 +12,25 @@ participant trains and reports).  Passing a
 through its availability simulator and buffered/async aggregation logic —
 dropped reports vanish, stragglers arrive rounds later, and aggregation fires
 on ``min_reports``/``max_wait_rounds`` instead of blocking on the cohort.
+
+Secure aggregation: ``run_fl_round(secure=seed)`` runs the round under a
+:class:`~repro.privacy.secure_aggregation.SecureAggregationSession` — each
+party's bank row is sealed in the exact bit domain the moment training
+writes it, and the aggregate is produced by the session's recovery phase.
+Sealing round-trips exactly, so the masked round is bit-for-bit the
+unmasked one; ``secure=None`` (the default) never constructs a session.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.federation.party import Party
 from repro.nn.training import LocalTrainingConfig
+from repro.privacy.secure_aggregation import SecureAggregationSession
 from repro.utils.params import ParamBank, ParamSpec, Params, make_param_bank
 from repro.utils.sharding import ShardPlan, resolve_shard_plan
 
@@ -88,11 +97,18 @@ def round_dtype(parties: dict[int, Party], participant_ids: list[int],
 
 def train_cohort(parties: dict[int, Party], participant_ids: list[int],
                  params: Params, config: RoundConfig, round_tag: object,
-                 bank: ParamBank) -> tuple[list[int], list]:
+                 bank: ParamBank,
+                 seal: Callable[[int, int, object], None] | None = None,
+                 ) -> tuple[list[int], list]:
     """Train every participant, landing each update in a fresh bank row.
 
     Returns ``(rows, updates)`` aligned with ``participant_ids``.  Shared by
     the synchronous path and the async engine so both train identically.
+
+    ``seal(party_id, row, update)`` fires immediately after each party's
+    trained vector lands in its row — the secure-aggregation hook masks the
+    row there, before the next party trains, so an unmasked update is never
+    left resident once control returns from the party.
     """
     rows: list[int] = []
     updates = []
@@ -101,9 +117,31 @@ def train_cohort(parties: dict[int, Party], participant_ids: list[int],
             raise KeyError(f"unknown party id {party_id}")
         row = bank.alloc()
         rows.append(row)
-        updates.append(parties[party_id].local_train(
-            params, config.local, round_tag, out_flat=bank.row(row)))
+        update = parties[party_id].local_train(
+            params, config.local, round_tag, out_flat=bank.row(row))
+        if seal is not None:
+            seal(party_id, row, update)
+        updates.append(update)
     return rows, updates
+
+
+def make_round_session(participant_ids: list[int], spec: ParamSpec, bank,
+                       secure: int, context: tuple,
+                       ) -> tuple[SecureAggregationSession, Callable]:
+    """A per-round session plus the ``train_cohort`` seal hook.
+
+    The hook seals only reports that carry samples — zero-sample rows are
+    released immediately by both round paths and never enter an aggregate.
+    """
+    session = SecureAggregationSession(
+        list(participant_ids), spec, shared_seed=secure, dtype=bank.dtype,
+        context=context)
+
+    def seal(party_id: int, row: int, update) -> None:
+        if update.num_samples > 0:
+            session.seal_row(party_id, bank.row(row))
+
+    return session, seal
 
 
 def mean_finite_loss(updates) -> float:
@@ -114,14 +152,18 @@ def mean_finite_loss(updates) -> float:
 def _sync_round(parties: dict[int, Party], participant_ids: list[int],
                 params: Params, config: RoundConfig, round_tag: object,
                 dtype=None, shards: ShardPlan | None = None,
-                ) -> tuple[Params, RoundStats]:
+                secure: int | None = None) -> tuple[Params, RoundStats]:
     spec = ParamSpec.of(params)
     bank = make_param_bank(spec,
                            dtype=round_dtype(parties, participant_ids, params,
                                              dtype),
                            capacity=len(participant_ids), plan=shards)
+    session = seal = None
+    if secure is not None:
+        session, seal = make_round_session(participant_ids, spec, bank,
+                                           secure, context=("sync", round_tag))
     rows, updates = train_cohort(parties, participant_ids, params, config,
-                                 round_tag, bank)
+                                 round_tag, bank, seal=seal)
     weights = np.array([float(u.num_samples) for u in updates])
     usable = weights > 0
     if not usable.any():
@@ -129,8 +171,15 @@ def _sync_round(parties: dict[int, Party], participant_ids: list[int],
             f"aggregation failed in round {round_tag!r}: all updates carry "
             "zero samples"
         )
-    new_params = spec.view(bank.weighted_combine(
-        weights[usable], [r for r, ok in zip(rows, usable) if ok]))
+    usable_rows = [r for r, ok in zip(rows, usable) if ok]
+    if session is not None:
+        new_params = spec.view(session.combine_rows(
+            bank, weights[usable],
+            [(u.party_id, r) for u, r, ok in zip(updates, rows, usable)
+             if ok]))
+    else:
+        new_params = spec.view(bank.weighted_combine(weights[usable],
+                                                     usable_rows))
     stats = RoundStats(
         participants=list(participant_ids),
         mean_train_loss=mean_finite_loss(updates),
@@ -149,6 +198,7 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
                  stream: object = "default",
                  dtype=None,
                  shards: "ShardPlan | int | None" = None,
+                 secure: int | None = None,
                  ) -> tuple[Params, RoundStats]:
     """Train ``params`` for one round over the given participants.
 
@@ -167,12 +217,18 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
     runs as per-shard partial products; the default (1 shard) keeps the
     in-process bank and reproduces historical results bitwise.  Under an
     engine the engine's own plan wins when this argument is None.
+
+    ``secure`` (a mask-stream root seed, or None = off) masks the round:
+    every bank row is sealed at training time and the aggregate comes out
+    of the session's recovery phase — bit-for-bit the unmasked result,
+    with no unmasked party update resident in server-side storage.
     """
     if not participant_ids:
         raise ValueError("cannot run a round with no participants")
     if engine is not None:
         return engine.run_round(parties, participant_ids, params, config,
                                 round_tag=round_tag, stream=stream,
-                                dtype=dtype, shards=shards)
+                                dtype=dtype, shards=shards, secure=secure)
     return _sync_round(parties, participant_ids, params, config, round_tag,
-                       dtype=dtype, shards=resolve_shard_plan(shards))
+                       dtype=dtype, shards=resolve_shard_plan(shards),
+                       secure=secure)

@@ -24,9 +24,6 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-if TYPE_CHECKING:  # import cycle: async_engine -> rounds -> party only
-    from repro.federation.async_engine import FederationEngine
-
 from repro.data.registry import DatasetSpec
 from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
 from repro.federation.party import Party
@@ -35,6 +32,9 @@ from repro.nn.network import Sequential
 from repro.utils.params import Params
 from repro.utils.rng import spawn_rng
 from repro.utils.sharding import ShardPlan
+
+if TYPE_CHECKING:  # import cycle: async_engine -> rounds -> party only
+    from repro.federation.async_engine import FederationEngine
 
 
 @dataclass
@@ -51,6 +51,11 @@ class StrategyContext:
     ``run_fl_round`` and the expert matching/consolidation calls so round
     banks and pool-level scoring fan out across processes.  The default
     (1 shard) is the byte-for-byte in-process path.
+
+    ``secure_aggregation`` is the run's mask-stream root seed when secure
+    aggregation is on (None = off, the default): strategies pass it as
+    ``run_fl_round(secure=...)`` so every round they run — on any stream —
+    seals its party updates in their bank rows.
     """
 
     spec: DatasetSpec
@@ -63,6 +68,7 @@ class StrategyContext:
     profiler: RuntimeProfiler = field(default_factory=RuntimeProfiler)
     federation: "FederationEngine | None" = None
     shard_plan: ShardPlan = field(default_factory=ShardPlan)
+    secure_aggregation: int | None = None
 
     def rng(self, *labels: object) -> np.random.Generator:
         return spawn_rng(self.seed, *labels)

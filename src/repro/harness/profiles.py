@@ -40,6 +40,15 @@ class RunSettings:
     ``shard_backend`` picks who executes per-shard work: ``auto`` (the
     default) uses the worker pool only for operations big enough to beat
     the IPC round trip, ``process``/``serial`` force one side.
+
+    ``secure_aggregation`` masks every federated round under a pairwise
+    secure-aggregation session (see
+    :mod:`repro.privacy.secure_aggregation`): party updates are sealed in
+    their bank rows from training until their aggregation fires, so no
+    unmasked individual update is ever resident server-side — including
+    inside async stream buffers.  Sealing is exact (bit-domain), so a
+    masked run reproduces its unmasked twin bit for bit; the default
+    ``False`` never constructs a session.
     """
 
     rounds_burn_in: int = 6
@@ -50,6 +59,7 @@ class RunSettings:
     federation: FederationConfig = field(default_factory=FederationConfig)
     shards: int = 1
     shard_backend: str = "auto"
+    secure_aggregation: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds_burn_in <= 0 or self.rounds_per_window <= 0:
@@ -58,6 +68,7 @@ class RunSettings:
             raise ValueError("eval_parties must be positive when given")
         self.shard_plan  # validates shards >= 1 and the backend name
         self.dtype = str(resolve_dtype(self.dtype))
+        self.secure_aggregation = bool(self.secure_aggregation)
         if not isinstance(self.federation, FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
 

@@ -98,6 +98,9 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         seed=seed,
         federation=engine,
         shard_plan=shard_plan,
+        # The run seed doubles as the mask-stream root: mask streams are
+        # label-namespaced, so they never collide with model/data draws.
+        secure_aggregation=seed if settings.secure_aggregation else None,
     )
     strategy.setup(ctx)
 

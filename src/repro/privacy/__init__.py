@@ -26,7 +26,10 @@ from repro.privacy.overhead import TeeOverheadModel
 from repro.privacy.secure_aggregation import (
     IncompleteSubmissionError,
     SecureAggregationSession,
+    mask_vector,
     pairwise_mask,
+    seal_bits,
+    self_seal_bits,
 )
 
 __all__ = [
@@ -39,5 +42,8 @@ __all__ = [
     "TeeOverheadModel",
     "IncompleteSubmissionError",
     "SecureAggregationSession",
+    "mask_vector",
     "pairwise_mask",
+    "seal_bits",
+    "self_seal_bits",
 ]

@@ -22,7 +22,6 @@ class TestKl:
         q = normalize([1, 9])
         assert kl_divergence(p, q) == pytest.approx(kl_divergence(q, p))
         p2 = normalize([8, 1, 1])
-        q2 = normalize([1, 1, 8])
         # Generic distributions are asymmetric.
         r2 = normalize([4, 4, 2])
         assert kl_divergence(p2, r2) != pytest.approx(kl_divergence(r2, p2))

@@ -101,11 +101,43 @@ class TestAggregationPathsAgree:
 
     @given(cohort_updates())
     @settings(max_examples=30, deadline=None)
+    def test_sealed_bank_combine_is_bitwise_weighted_combine(self, case):
+        """Bit-domain sealing must vanish exactly: seal every row, run the
+        recovery-phase combine, and require bit equality with the unmasked
+        kernel over the same rows — at float32 and float64 alike."""
+        updates, dtype = case
+        bank = ParamBank.from_param_sets([u.params for u in updates],
+                                         dtype=dtype)
+        rows = list(range(len(updates)))
+        weights = [float(u.num_samples) for u in updates]
+        expected = bank.weighted_combine(weights, rows=rows)
+        sealed_bank = ParamBank.from_param_sets([u.params for u in updates],
+                                                dtype=dtype)
+        session = SecureAggregationSession(
+            [u.party_id for u in updates], sealed_bank.spec, shared_seed=3,
+            dtype=dtype, context=("diff", 0))
+        for u, row in zip(updates, rows):
+            session.seal_row(u.party_id, sealed_bank.row(row))
+        got = session.combine_rows(
+            sealed_bank, weights,
+            [(u.party_id, row) for u, row in zip(updates, rows)])
+        assert np.array_equal(got, expected)
+        # combine_rows scrubs what it unsealed.
+        assert not sealed_bank.matrix(rows).any()
+
+    @given(cohort_updates())
+    @settings(max_examples=30, deadline=None)
     def test_secure_aggregation_matches_uniform_fedavg(self, case):
         updates, _dtype = case
         # The masked sum is an unweighted mean, so pin it against fedavg
-        # with every party reporting the same sample count.
-        uniform = [dataclasses.replace(u, num_samples=7) for u in updates]
+        # with every party reporting the same sample count.  The facade
+        # masks in float64, so the reference must be float64 too — a
+        # float32 reference carries its own cancellation error, larger
+        # than the mask residual this test bounds.
+        uniform = [dataclasses.replace(
+            u, num_samples=7,
+            params=[np.asarray(p, dtype=np.float64) for p in u.params])
+            for u in updates]
         expected = flatten_params(fedavg(uniform))
         shapes = [tuple(p.shape) for p in updates[0].params]
         session = SecureAggregationSession(

@@ -61,8 +61,8 @@ def _fences(path: Path) -> list[tuple[str, int, str]]:
             body.append(lines[i])
             i += 1
         i += 1  # closing fence
-        preceding = next((l for l in reversed(lines[:start - 1]) if l.strip()),
-                         "")
+        preceding = next(
+            (prev for prev in reversed(lines[:start - 1]) if prev.strip()), "")
         if NO_RUN not in preceding:
             blocks.append((lang, start + 1, "\n".join(body)))
     return blocks
@@ -88,8 +88,8 @@ def test_example_executes(script: Path, tmp_path):
 
 @pytest.mark.docs
 @pytest.mark.parametrize("doc", [d for d in DOC_FILES
-                                 if any(l == "python"
-                                        for l, _n, _b in _fences(d))],
+                                 if any(lang == "python"
+                                        for lang, _n, _b in _fences(d))],
                          ids=_doc_id)
 def test_markdown_python_blocks_execute(doc: Path, tmp_path):
     """A document's python fences run as one script, in order."""

@@ -352,9 +352,9 @@ class TestCallbacks:
         lines = []
         run_strategy(FedAvgStrategy(), spec, settings, seed=0,
                      callbacks=[ProgressLogger(emit=lines.append)])
-        assert any("starting" in l for l in lines)
-        assert any("W1" in l for l in lines)
-        assert any("done" in l for l in lines)
+        assert any("starting" in line for line in lines)
+        assert any("W1" in line for line in lines)
+        assert any("done" in line for line in lines)
 
     def test_json_checkpointer(self, tiny_env, tmp_path):
         spec, settings = tiny_env

@@ -5,7 +5,6 @@ import pytest
 
 from repro.experts.consolidation import consolidate_experts
 from repro.experts.registry import ExpertRegistry
-from repro.utils.rng import spawn_rng
 
 
 def make_expert(registry, rng, params_scale=1.0, base=None, regime_offset=0.0,

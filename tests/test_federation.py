@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.data.federated import FederatedShiftDataset
 from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
 from repro.federation.aggregation import fedavg
 from repro.federation.party import LocalUpdate, Party
@@ -13,7 +12,7 @@ from repro.nn.models import build_model
 from repro.nn.training import LocalTrainingConfig
 from repro.utils.params import flatten_params
 from repro.utils.rng import spawn_rng
-from tests.conftest import make_context, make_tiny_spec
+from tests.conftest import make_context
 
 
 class TestParty:

@@ -17,7 +17,6 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.network import Sequential
-from repro.utils.rng import spawn_rng
 
 SMOOTH_TOL = 1e-6
 RELU_TOL = 2e-3  # finite differences are noisy near ReLU/MaxPool kinks

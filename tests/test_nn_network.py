@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.layers import Dense, ReLU
 from repro.nn.network import Sequential
 
 

@@ -39,7 +39,7 @@ def _full_plan() -> ExperimentPlan:
         train_per_window=32, test_per_window=16)
     settings_override = RunSettings(
         rounds_burn_in=4, rounds_per_window=3, eval_parties=4,
-        dtype="float32", shards=3,
+        dtype="float32", shards=3, secure_aggregation=True,
         federation=FederationConfig(mode="async"),
         round_config=RoundConfig(
             participants_per_round=5,
@@ -52,7 +52,8 @@ def _full_plan() -> ExperimentPlan:
         {"fedavg": "fedavg",
          "prox-strong": {"method": "fedprox", "kwargs": {"prox_mu": 0.1}}},
         seeds=(0, 1, 2), profile="small", name="full-schema",
-        dtype="float32", shards=2, federation=federation,
+        dtype="float32", shards=2, secure_aggregation=True,
+        federation=federation,
         spec_override=spec_override, settings_override=settings_override)
 
 
@@ -70,25 +71,30 @@ class TestLosslessRoundTrip:
         assert loaded.to_dict() == plan.to_dict()
 
     def test_new_fields_survive_the_trip(self, tmp_path):
-        """The PR-4 additions specifically: shards next to dtype/federation."""
+        """The PR-4/PR-5 additions: shards and secure_aggregation next to
+        dtype/federation."""
         plan = _full_plan()
         data = json.loads(save_plan(tmp_path / "p.json", plan).read_text())
         assert data["shards"] == 2
         assert data["dtype"] == "float32"
+        assert data["secure_aggregation"] is True
         assert data["federation"]["mode"] == "buffered"
         assert data["settings_override"]["shards"] == 3
+        assert data["settings_override"]["secure_aggregation"] is True
         loaded = load_plan(tmp_path / "p.json")
         assert loaded.shards == 2
+        assert loaded.secure_aggregation is True
         assert loaded.settings_override.shards == 3
         _spec, settings = loaded.resolve()
         assert settings.shards == 2  # plan-level knob wins over override
+        assert settings.secure_aggregation is True
 
     def test_defaults_stay_omitted(self):
         """Optional knobs absent from the file stay absent on re-save."""
         plan = ExperimentPlan.build("fashion_mnist_sim", ["fedavg"])
         data = plan.to_dict()
-        for key in ("dtype", "federation", "shards", "spec_override",
-                    "settings_override"):
+        for key in ("dtype", "federation", "shards", "secure_aggregation",
+                    "spec_override", "settings_override"):
             assert key not in data
         assert ExperimentPlan.from_dict(data) == plan
 

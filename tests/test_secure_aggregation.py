@@ -1,0 +1,419 @@
+"""Bank-resident secure aggregation: sealing, failure modes, invariants.
+
+Pins the PR's acceptance criteria from four directions:
+
+* the flat mask plane is bitwise-compatible with the historical per-tensor
+  draws, and bit-domain sealing round-trips exactly at both precisions;
+* failure modes fail loudly: duplicate submissions, weight mismatches
+  between the masked and unmasked paths, unsealing rows that were never
+  sealed, and aggregating an outage-strickened cohort
+  (``IncompleteSubmissionError``);
+* a masked ``run_fl_round`` — sync, sharded, or engine-mediated — equals
+  its unmasked twin bit for bit at float64 (and float32: sealing lives in
+  the exact bit domain);
+* no unmasked party update is ever resident in an ``AsyncRoundBuffer``:
+  buffered rows differ from the raw updates while parked and unseal back
+  to them exactly, and reports dropped at a window boundary are discarded
+  still sealed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.federated import FederatedShiftDataset
+from repro.experiments.registry import build_strategy
+from repro.federation.async_engine import FederationConfig, FederationEngine
+from repro.federation.availability import (
+    AvailabilityConfig,
+    AvailabilitySimulator,
+)
+from repro.federation.rounds import run_fl_round
+from repro.harness.runner import run_strategy
+from repro.privacy.secure_aggregation import (
+    IncompleteSubmissionError,
+    SecureAggregationSession,
+    mask_vector,
+    pairwise_mask,
+    seal_bits,
+    self_seal_bits,
+)
+from repro.utils.params import ParamBank, ParamSpec, flatten_params
+from repro.utils.rng import spawn_rng
+from repro.utils.serialization import run_result_to_dict
+from tests.conftest import make_context, make_run_settings, make_tiny_spec
+
+SHAPES = [(3, 2), (2,)]
+
+
+# ------------------------------------------------------------ the mask plane
+
+class TestFlatMaskPlane:
+    def test_pairwise_mask_matches_historical_per_tensor_draws(self):
+        """One flat stream must reproduce the seed's per-shape draws."""
+        sizes = [(3, 2), (2,), (4, 1, 2)]
+        rng = spawn_rng(5, "pairwise-mask", 1, 2)
+        legacy = [rng.normal(size=shape) for shape in sizes]
+        flat = pairwise_mask(5, 1, 2, sizes)
+        for new, old in zip(flat, legacy):
+            assert np.array_equal(new, old)
+
+    def test_mask_vector_symmetric_in_party_order(self):
+        assert np.array_equal(mask_vector(3, 7, 2, 16), mask_vector(3, 2, 7, 16))
+        assert np.array_equal(seal_bits(3, 7, 2, 16), seal_bits(3, 2, 7, 16))
+
+    def test_context_namespaces_streams(self):
+        base = mask_vector(3, 0, 1, 16)
+        other = mask_vector(3, 0, 1, 16, context=("stream", "g", 4))
+        assert not np.array_equal(base, other)
+
+    def test_seal_bits_dtype_follows_precision(self):
+        assert seal_bits(0, 0, 1, 4, dtype=np.float64).dtype == np.uint64
+        assert seal_bits(0, 0, 1, 4, dtype=np.float32).dtype == np.uint32
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_seal_unseal_roundtrips_exactly(self, rng, dtype):
+        spec = ParamSpec(((5,), (2, 3)))
+        session = SecureAggregationSession([0, 1, 2], spec, shared_seed=9,
+                                           dtype=dtype)
+        bank = ParamBank(spec, dtype=dtype, capacity=3)
+        row = bank.alloc(rng.normal(size=spec.total_size).astype(dtype))
+        original = bank.row(row).copy()
+        session.seal_row(0, bank.row(row))
+        assert not np.array_equal(bank.row(row), original)
+        session.unseal_row(0, bank.row(row))
+        assert np.array_equal(bank.row(row), original)
+
+    def test_sealed_row_pair_masks_cancel_in_the_modular_sum(self, rng):
+        """The group-theoretic core: summed over the cohort, the pairwise
+        components cancel exactly — what survives is the personal
+        double-masking terms the recovery phase removes per row."""
+        spec = ParamSpec(((6,),))
+        session = SecureAggregationSession([0, 1, 2, 3], spec, shared_seed=4)
+        total = np.zeros(6, dtype=np.uint64)
+        for pid in session.cohort:
+            total += session.net_seal_bits(pid)
+            total -= self_seal_bits(4, pid, 6)
+        assert not total.any()
+
+    def test_singleton_cohort_row_is_still_sealed(self, rng):
+        """Pairwise masks vanish in a one-party dispatch (every pair needs
+        two parties), but the personal mask must still hide the row — a
+        survivor of a heavy-dropout round may never sit plaintext in a
+        buffer."""
+        spec = ParamSpec(((8,),))
+        session = SecureAggregationSession([3], spec, shared_seed=2)
+        bank = ParamBank(spec, capacity=1)
+        row = bank.alloc(rng.normal(size=8))
+        original = bank.row(row).copy()
+        session.seal_row(3, bank.row(row))
+        assert not np.array_equal(bank.row(row), original)
+        session.unseal_row(3, bank.row(row))
+        assert np.array_equal(bank.row(row), original)
+
+
+# ------------------------------------------------------------- failure modes
+
+class TestFailureModes:
+    def _updates(self, rng, n):
+        return [[rng.normal(size=s) for s in SHAPES] for _ in range(n)]
+
+    def test_duplicate_submit_rejected(self, rng):
+        session = SecureAggregationSession([0, 1], SHAPES)
+        session.submit(0, self._updates(rng, 1)[0])
+        with pytest.raises(ValueError, match="already submitted"):
+            session.submit(0, self._updates(rng, 1)[0])
+
+    def test_duplicate_seal_rejected(self, rng):
+        spec = ParamSpec(tuple(SHAPES))
+        session = SecureAggregationSession([0, 1], spec)
+        bank = ParamBank(spec, capacity=2)
+        row = bank.alloc(rng.normal(size=spec.total_size))
+        session.seal_row(0, bank.row(row))
+        with pytest.raises(ValueError, match="already submitted"):
+            session.seal_row(0, bank.row(row))
+        # ... and mixing the facade in afterwards is a duplicate too.
+        with pytest.raises(ValueError, match="already submitted"):
+            session.submit(0, self._updates(rng, 1)[0])
+
+    def test_weight_mismatch_between_masked_and_unmasked_paths(self, rng):
+        """Masked means are uniform; silently diverging from the weighted
+        FedAvg an unmasked run would compute must be refused instead."""
+        session = SecureAggregationSession([0, 1], SHAPES)
+        updates = self._updates(rng, 2)
+        session.submit(0, updates[0], weight=1.0)
+        session.submit(1, updates[1], weight=3.0)
+        with pytest.raises(ValueError, match="uniform weights"):
+            session.aggregate()
+
+    def test_unseal_requires_a_sealed_row(self, rng):
+        spec = ParamSpec(tuple(SHAPES))
+        session = SecureAggregationSession([0, 1], spec)
+        bank = ParamBank(spec, capacity=2)
+        row = bank.alloc(rng.normal(size=spec.total_size))
+        with pytest.raises(KeyError, match="no sealed row"):
+            session.unseal_row(0, bank.row(row))
+
+    def test_combine_rows_weight_length_mismatch(self, rng):
+        spec = ParamSpec(tuple(SHAPES))
+        session = SecureAggregationSession([0, 1], spec)
+        bank = ParamBank(spec, capacity=2)
+        row = bank.alloc(rng.normal(size=spec.total_size))
+        session.seal_row(0, bank.row(row))
+        with pytest.raises(ValueError, match="does not match"):
+            session.combine_rows(bank, [1.0, 2.0], [(0, row)])
+
+    def test_combine_rows_rejects_bad_weights_before_unsealing(self, rng):
+        """Weight validation must happen while the rows are still masked:
+        a rejected aggregation may not leave plaintext in the bank."""
+        spec = ParamSpec(tuple(SHAPES))
+        session = SecureAggregationSession([0, 1], spec)
+        bank = ParamBank(spec, capacity=2)
+        row = bank.alloc(rng.normal(size=spec.total_size))
+        session.seal_row(0, bank.row(row))
+        sealed_bytes = bank.row(row).copy()
+        with pytest.raises(ValueError, match="positive"):
+            session.combine_rows(bank, [0.0], [(0, row)])
+        assert session.is_sealed(0)
+        assert np.array_equal(bank.row(row), sealed_bytes)
+
+    def test_aggregate_refuses_sealed_federation_rows(self, rng):
+        """The facade aggregate() must fail loudly, not with a KeyError,
+        when the session's submissions are sealed bank rows."""
+        spec = ParamSpec(tuple(SHAPES))
+        session = SecureAggregationSession([0, 1], spec)
+        bank = ParamBank(spec, capacity=2)
+        for pid in (0, 1):
+            session.seal_row(pid, bank.row(
+                bank.alloc(rng.normal(size=spec.total_size))))
+        assert session.missing == []
+        with pytest.raises(ValueError, match="combine_rows"):
+            session.aggregate()
+
+    def test_seal_rejects_foreign_dtype_and_shape(self, rng):
+        session = SecureAggregationSession([0, 1], ParamSpec(((4,),)),
+                                           dtype=np.float64)
+        with pytest.raises(ValueError, match="dtype"):
+            session.seal_row(0, rng.normal(size=4).astype(np.float32))
+        with pytest.raises(ValueError, match="size"):
+            session.seal_row(0, rng.normal(size=5))
+
+    def test_outage_stricken_cohort_cannot_aggregate(self, rng):
+        """Under the ``outages`` preset a correlated slice of the cohort
+        never submits, and the session must refuse to reveal the partial
+        masked sum."""
+        simulator = AvailabilitySimulator(
+            AvailabilityConfig.scenario("outages"), seed=3, num_parties=8)
+        cohort = list(range(8))
+        outage_tick = next(
+            t for t in range(200)
+            if any(f.dropped for f in simulator.cohort_fates(cohort, t)))
+        fates = simulator.cohort_fates(cohort, outage_tick)
+        session = SecureAggregationSession(cohort, SHAPES, shared_seed=7)
+        for fate in fates:
+            if not fate.dropped:
+                session.submit(fate.party_id,
+                               [rng.normal(size=s) for s in SHAPES])
+        assert session.missing  # the outage actually removed someone
+        with pytest.raises(IncompleteSubmissionError):
+            session.aggregate()
+
+
+# ---------------------------------------------------- masked rounds, bitwise
+
+def _fresh(spec, dataset):
+    ctx = make_context(spec, dataset)
+    return ctx, ctx.model_factory().get_params()
+
+
+class TestMaskedRoundsBitwise:
+    def test_sync_round_exact_at_float64(self, tiny_spec, tiny_dataset):
+        ctx, params = _fresh(tiny_spec, tiny_dataset)
+        plain, plain_stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                          ctx.round_config, round_tag=(0, 0))
+        ctx, params = _fresh(tiny_spec, tiny_dataset)
+        masked, masked_stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                            ctx.round_config, round_tag=(0, 0),
+                                            secure=11)
+        assert np.array_equal(flatten_params(plain), flatten_params(masked))
+        assert plain_stats.reported == masked_stats.reported
+
+    def test_sync_round_exact_at_float32(self, tiny_spec, tiny_dataset):
+        ctx, params = _fresh(tiny_spec, tiny_dataset)
+        plain, _ = run_fl_round(ctx.parties, [0, 1, 2], params,
+                                ctx.round_config, dtype=np.float32)
+        ctx, params = _fresh(tiny_spec, tiny_dataset)
+        masked, _ = run_fl_round(ctx.parties, [0, 1, 2], params,
+                                 ctx.round_config, dtype=np.float32, secure=11)
+        assert all(p.dtype == np.float32 for p in masked)
+        assert np.array_equal(flatten_params(plain), flatten_params(masked))
+
+    def test_sharded_round_stays_sealed_and_exact(self, tiny_spec,
+                                                  tiny_dataset):
+        ctx, params = _fresh(tiny_spec, tiny_dataset)
+        plain, _ = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                ctx.round_config, shards=2)
+        ctx, params = _fresh(tiny_spec, tiny_dataset)
+        masked, _ = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                 ctx.round_config, shards=2, secure=11)
+        assert np.array_equal(flatten_params(plain), flatten_params(masked))
+
+    @pytest.mark.parametrize("mode", ["sync", "buffered", "async"])
+    def test_engine_round_exact(self, tiny_spec, tiny_dataset, mode):
+        def one(secure):
+            engine = FederationEngine(FederationConfig(mode=mode), seed=0,
+                                      num_parties=8)
+            ctx, params = _fresh(tiny_spec, tiny_dataset)
+            engine.advance((0, 0))
+            got, stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                      ctx.round_config, round_tag=(0, 0),
+                                      engine=engine, stream="g",
+                                      secure=secure)
+            assert stats.aggregated
+            return flatten_params(got)
+
+        assert np.array_equal(one(None), one(11))
+
+
+# ----------------------------------------------- buffer residency invariants
+
+def _buffered_engine(secure_seed=None, **avail):
+    """A buffered engine that keeps reports parked (trigger never met)."""
+    return FederationEngine(
+        FederationConfig(mode="buffered", min_reports=99, max_wait_rounds=99,
+                         availability=AvailabilityConfig(**avail)),
+        seed=0, num_parties=8)
+
+
+class TestBufferResidency:
+    def _park_reports(self, spec, dataset, secure):
+        engine = _buffered_engine()
+        ctx, params = _fresh(spec, dataset)
+        engine.advance((0, 0))
+        _, stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                ctx.round_config, round_tag=(0, 0),
+                                engine=engine, stream="g", secure=secure)
+        assert not stats.aggregated
+        buf = engine._buffers["g"]
+        return engine, buf
+
+    def test_no_unmasked_row_resident_in_buffer(self, tiny_spec, tiny_dataset):
+        """The acceptance invariant: while parked, every pending row is
+        sealed — it differs from the raw trained update, and unsealing a
+        copy restores that update exactly."""
+        _, plain_buf = self._park_reports(tiny_spec, tiny_dataset, None)
+        raw = {r.party_id: plain_buf.bank.row(r.row).copy()
+               for r in plain_buf._pending}
+        _, sealed_buf = self._park_reports(tiny_spec, tiny_dataset, 11)
+        assert sealed_buf.in_flight == len(raw) > 0
+        for report in sealed_buf._pending:
+            resident = sealed_buf.bank.row(report.row)
+            assert report.session is not None
+            assert report.session.is_sealed(report.party_id)
+            assert not np.array_equal(resident, raw[report.party_id])
+            recovered = resident.copy()
+            report.session.unseal_row(report.party_id, recovered)
+            assert np.array_equal(recovered, raw[report.party_id])
+            # Re-seal: the test must not mutate session state it borrowed.
+            report.session.seal_row(report.party_id, np.zeros_like(recovered))
+
+    def test_window_flush_drops_reports_still_sealed(self, tiny_spec,
+                                                     tiny_dataset):
+        """A report stranded at a window boundary is discarded masked: the
+        flush never runs the recovery phase, so nothing unmasked (not even
+        a residue) survives into the next window."""
+        engine, buf = self._park_reports(tiny_spec, tiny_dataset, 11)
+        reports = list(buf._pending)
+        sealed_bytes = {r.party_id: buf.bank.row(r.row).copy()
+                        for r in reports}
+        expired = engine.begin_window(1)
+        assert expired == len(reports)
+        assert buf.in_flight == 0
+        for report in reports:
+            # Still sealed from the session's point of view: the mask
+            # material for these rows was never reconstructed.
+            assert report.session.is_sealed(report.party_id)
+            assert not np.array_equal(sealed_bytes[report.party_id],
+                                      np.zeros_like(
+                                          sealed_bytes[report.party_id]))
+
+    def test_aggregation_scrubs_rows_before_release(self, tiny_spec,
+                                                    tiny_dataset):
+        """The one exit that unseals must not leave plaintext in the freed
+        slots."""
+        engine = FederationEngine(FederationConfig(mode="async"), seed=0,
+                                  num_parties=8)
+        ctx, params = _fresh(tiny_spec, tiny_dataset)
+        engine.advance((0, 0))
+        _, stats = run_fl_round(ctx.parties, [0, 1, 2, 3], params,
+                                ctx.round_config, round_tag=(0, 0),
+                                engine=engine, stream="g", secure=11)
+        assert stats.aggregated
+        buf = engine._buffers["g"]
+        assert buf.in_flight == 0
+        for slot in range(buf.bank.n_slots):
+            assert not buf.bank._buf[slot].any()
+
+
+# ------------------------------------------------------- full-run invariants
+
+class TestMaskedRunsBitwise:
+    def _spec_ds(self, seed):
+        spec = make_tiny_spec(name=f"unit_secure_{seed}", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=seed)
+        return spec, FederatedShiftDataset(spec)
+
+    def test_fedavg_masked_run_is_bitwise_identical(self):
+        spec, ds = self._spec_ds(31)
+        base = make_run_settings()
+        plain = run_strategy(build_strategy("fedavg"), spec, base, seed=0,
+                             dataset=ds)
+        masked = run_strategy(
+            build_strategy("fedavg"), spec,
+            dataclasses.replace(base, secure_aggregation=True), seed=0,
+            dataset=ds)
+        assert run_result_to_dict(plain) == run_result_to_dict(masked)
+
+    def test_masked_async_dropout_run_is_bitwise_identical(self):
+        """Sealed buffers under dropout + stragglers: reports cross round
+        boundaries (exercising bank growth with sealed rows resident) and
+        some are flushed sealed — the run must still match its twin."""
+        spec, ds = self._spec_ds(37)
+        federation = FederationConfig(
+            mode="buffered", min_reports=3, max_wait_rounds=2,
+            staleness_policy="polynomial",
+            availability=AvailabilityConfig(dropout_prob=0.2,
+                                            straggler_prob=0.4))
+        base = dataclasses.replace(make_run_settings(), federation=federation)
+        plain = run_strategy(build_strategy("fedavg"), spec, base, seed=2,
+                             dataset=ds)
+        masked = run_strategy(
+            build_strategy("fedavg"), spec,
+            dataclasses.replace(base, secure_aggregation=True), seed=2,
+            dataset=ds)
+        assert run_result_to_dict(plain) == run_result_to_dict(masked)
+        fed = plain.extras["federation"]
+        assert fed["dropped"] > 0 and fed["delayed"] > 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("method", ["fedavg", "fedprox", "oort",
+                                        "fielding", "feddrift", "shiftex"])
+    def test_every_strategy_masked_equals_unmasked(self, method):
+        spec, ds = self._spec_ds(41)
+        base = make_run_settings()
+        plain = run_strategy(build_strategy(method), spec, base, seed=0,
+                             dataset=ds)
+        masked = run_strategy(
+            build_strategy(method), spec,
+            dataclasses.replace(base, secure_aggregation=True), seed=0,
+            dataset=ds)
+        first, second = run_result_to_dict(plain), run_result_to_dict(masked)
+        # Wall-clock profiler timings are the one legitimately
+        # non-deterministic section of a run result.
+        first.pop("profiler")
+        second.pop("profiler")
+        assert first == second

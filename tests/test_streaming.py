@@ -13,7 +13,6 @@ from repro.streaming import (
     WindowBatch,
 )
 from repro.streaming.engine import LateRecordError
-from repro.utils.rng import spawn_rng
 
 
 class TestTumblingWindows:
