@@ -21,6 +21,7 @@ from repro.data.registry import build_shift_schedule, dataset_names, get_dataset
 from repro.federation.aggregation import STALENESS_POLICIES
 from repro.federation.async_engine import PARTICIPATION_MODES, FederationConfig
 from repro.federation.availability import SCENARIOS, AvailabilityConfig
+from repro.federation.pool import PARTICIPATION_SKEWS, PopulationConfig
 from repro.experiments import (
     ExperimentPlan,
     ParallelExecutor,
@@ -134,6 +135,56 @@ def _federation_from_args(args) -> FederationConfig | None:
     )
 
 
+def _population_from_args(args) -> PopulationConfig | None:
+    """A PopulationConfig when any population flag was given, else None."""
+    dependents = (args.max_resident, args.participation_skew, args.zipf_a,
+                  args.survey_parties)
+    if args.population is None:
+        if any(f is not None for f in dependents):
+            raise ValueError(
+                "--max-resident/--participation-skew/--zipf-a/"
+                "--survey-parties require --population")
+        return None
+    kwargs = {"size": args.population}
+    if args.max_resident is not None:
+        kwargs["max_resident"] = args.max_resident
+    if args.participation_skew is not None:
+        kwargs["skew"] = args.participation_skew
+    if args.zipf_a is not None:
+        kwargs["zipf_a"] = args.zipf_a
+    if args.survey_parties is not None:
+        kwargs["survey"] = args.survey_parties
+    return PopulationConfig(**kwargs)
+
+
+def _add_population_args(parser) -> None:
+    group = parser.add_argument_group(
+        "population", "virtual-party population scaling (PartyPool)")
+    group.add_argument("--population", type=int, default=None, metavar="N",
+                       help="simulate N virtual parties: each is a seeded "
+                            "spec materialized on dispatch and evicted after "
+                            "its report, so N can far exceed the dataset's "
+                            "eager party count (default: eager parties)")
+    group.add_argument("--cohort-size", type=int, default=None, metavar="K",
+                       help="parties trained per round (overrides the "
+                            "profile's participants_per_round)")
+    group.add_argument("--max-resident", type=int, default=None, metavar="M",
+                       help="LRU bound on simultaneously live parties "
+                            "(default: unbounded; requires --population)")
+    group.add_argument("--participation-skew", default=None,
+                       choices=PARTICIPATION_SKEWS,
+                       help="cohort sampling distribution over the "
+                            "population (default uniform)")
+    group.add_argument("--zipf-a", type=float, default=None, metavar="A",
+                       help="zipf participation exponent: rank i is drawn "
+                            "with weight (i+1)^-A (default 1.2)")
+    group.add_argument("--survey-parties", type=int, default=None,
+                       metavar="S",
+                       help="cap whole-population surveys (per-party "
+                            "strategy state, clustering) to a seeded subset "
+                            "of S parties (default: everyone)")
+
+
 def _add_federation_args(parser) -> None:
     group = parser.add_argument_group(
         "participation", "asynchronous federation and client availability")
@@ -178,11 +229,14 @@ def cmd_compare(args) -> int:
     callbacks = (ProgressLogger(),) if args.progress else ()
     try:
         federation = _federation_from_args(args)
+        population = _population_from_args(args)
         plan = ExperimentPlan.build(args.dataset, methods, seeds=seeds,
                                     profile=args.profile, dtype=args.dtype,
                                     federation=federation, shards=args.shards,
                                     secure_aggregation=(True if args.secure_agg
-                                                        else None))
+                                                        else None),
+                                    population=population,
+                                    cohort_size=args.cohort_size)
         result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
     except (ValueError, KeyError) as exc:
         print(str(exc).strip("'\""), file=sys.stderr)
@@ -274,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--output-dir", default=None,
                            help="write per-run JSON results here")
     _add_federation_args(p_compare)
+    _add_population_args(p_compare)
     p_compare.set_defaults(func=cmd_compare)
 
     p_run = subparsers.add_parser(

@@ -33,9 +33,9 @@ class FedAvgStrategy(ContinualStrategy):
     def _select(self, window: int, round_index: int) -> list[int]:
         ctx = self.context
         rng = ctx.rng("select", self.name, window, round_index)
-        ids = sorted(ctx.parties)
-        k = min(ctx.round_config.participants_per_round, len(ids))
-        return [int(p) for p in rng.choice(ids, size=k, replace=False)]
+        # sample_cohort reproduces the historical sorted-id draw bitwise and
+        # scales to pooled populations without enumerating them.
+        return ctx.sample_cohort(rng)
 
     def _local_config(self):
         return replace(self.context.round_config.local, prox_mu=0.0)

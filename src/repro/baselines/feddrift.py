@@ -47,13 +47,15 @@ class FedDriftStrategy(ContinualStrategy):
         super().setup(ctx)
         self._models = {0: ctx.model_factory().get_params()}
         self._next_model_id = 1
-        self._membership = {pid: 0 for pid in ctx.parties}
+        # Survey order: the whole population eagerly, a seeded survey subset
+        # under a capped pool (FedDrift keeps per-party loss baselines).
+        self._membership = {pid: 0 for pid in ctx.party_ids}
         self._prev_best_loss = {}
 
     def end_window(self, window: int) -> None:
         """Record each party's post-training best loss as the drift baseline."""
         ctx = self.context
-        for pid, party in ctx.parties.items():
+        for pid, party in ctx.iter_parties():
             losses = [party.loss_on(params, split="train")
                       for params in self._models.values()]
             self._prev_best_loss[pid] = float(min(losses))
@@ -63,7 +65,7 @@ class FedDriftStrategy(ContinualStrategy):
         if window == 0:
             return
         drifted: list[int] = []
-        for pid, party in ctx.parties.items():
+        for pid, party in ctx.iter_parties():
             losses = {mid: party.loss_on(params, split="train")
                       for mid, params in self._models.items()}
             best_mid = min(losses, key=losses.get)

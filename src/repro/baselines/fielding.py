@@ -46,8 +46,10 @@ class FieldingStrategy(ContinualStrategy):
 
     def _fit_clusters(self, window: int) -> None:
         ctx = self.context
+        # Survey order: every party eagerly, a seeded subset under a capped
+        # pool (clustering needs one histogram per surveyed party).
         histograms = {pid: party.label_histogram()
-                      for pid, party in ctx.parties.items()}
+                      for pid, party in ctx.iter_parties()}
         selector = FlipsSelector(max_clusters=self.max_clusters)
         selector.fit(histograms, ctx.rng("fielding-cluster", window))
         clusters = selector.clusters
@@ -83,7 +85,7 @@ class FieldingStrategy(ContinualStrategy):
         # Re-cluster only when label histograms actually moved: covariate
         # shift is invisible here.
         moved = 0
-        for pid, party in ctx.parties.items():
+        for pid, party in ctx.iter_parties():
             new_hist = party.label_histogram()
             old_hist = self._last_histograms.get(pid)
             if old_hist is not None and jsd(new_hist, old_hist) > self.recluster_jsd:
@@ -92,7 +94,7 @@ class FieldingStrategy(ContinualStrategy):
             self._fit_clusters(window)
         else:
             self._last_histograms = {
-                pid: party.label_histogram() for pid, party in ctx.parties.items()
+                pid: party.label_histogram() for pid, party in ctx.iter_parties()
             }
 
     # ------------------------------------------------------------------ rounds

@@ -43,8 +43,11 @@ class OortStrategy(ContinualStrategy):
     def setup(self, ctx: StrategyContext) -> None:
         super().setup(ctx)
         self._global = ctx.model_factory().get_params()
-        self._utilities = {pid: 0.0 for pid in ctx.parties}
-        self._times_selected = {pid: 0 for pid in ctx.parties}
+        # Survey order: every party on the eager path; a pooled population
+        # caps this to its seeded survey subset so the utility table stays
+        # bounded (OORT needs per-party state by construction).
+        self._utilities = {pid: 0.0 for pid in ctx.party_ids}
+        self._times_selected = {pid: 0 for pid in ctx.party_ids}
 
     @property
     def global_params(self) -> Params:
@@ -57,7 +60,7 @@ class OortStrategy(ContinualStrategy):
     def _select(self, window: int, round_index: int) -> list[int]:
         ctx = self.context
         rng = ctx.rng("select", self.name, window, round_index)
-        ids = sorted(ctx.parties)
+        ids = list(ctx.party_ids)
         k = min(ctx.round_config.participants_per_round, len(ids))
         n_explore = int(round(self.exploration_fraction * k))
         n_exploit = k - n_explore

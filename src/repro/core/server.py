@@ -84,14 +84,16 @@ class ShiftExStrategy(ContinualStrategy):
         self.registry.shard_plan = ctx.shard_plan
         theta0 = ctx.model_factory().get_params()
         expert0 = self.registry.create(theta0, window=0, notes={"role": "bootstrap"})
-        self.assignments = {pid: expert0.expert_id for pid in ctx.parties}
+        # Survey order: every party eagerly, a seeded survey subset under a
+        # capped pool — ShiftEx tracks per-party expert assignments.
+        self.assignments = {pid: expert0.expert_id for pid in ctx.party_ids}
 
     # -------------------------------------------------- window 0 (bootstrap, 4.1)
 
     def _fit_bootstrap_flips(self, window: int) -> None:
         ctx = self.context
         histograms = {pid: party.label_histogram()
-                      for pid, party in ctx.parties.items()}
+                      for pid, party in ctx.iter_parties()}
         self._bootstrap_flips = FlipsSelector(
             max_clusters=self.config.flips_max_clusters
         ).fit(histograms, ctx.rng("flips-bootstrap", window))
@@ -104,7 +106,7 @@ class ShiftExStrategy(ContinualStrategy):
         gamma = self.thresholds.gamma if self.thresholds is not None else None
         reports: dict[int, PartyShiftReport] = {}
         with ctx.profiler.phase("shift_detection"):
-            for pid, party in ctx.parties.items():
+            for pid, party in ctx.iter_parties():
                 report, state = compute_party_report(
                     party, self._encoder,
                     self._party_state.get(pid),
@@ -425,8 +427,7 @@ class ShiftExStrategy(ContinualStrategy):
         if self.config.enable_flips and self._bootstrap_flips is not None:
             participants = self._bootstrap_flips.select(k, rng)
         else:
-            participants = [int(p) for p in rng.choice(sorted(ctx.parties), size=k,
-                                                       replace=False)]
+            participants = ctx.sample_cohort(rng, k)
         new_params, stats = run_fl_round(
             ctx.parties, participants, expert0.params, ctx.round_config,
             round_tag=(window, round_index),
@@ -452,7 +453,7 @@ class ShiftExStrategy(ContinualStrategy):
         self._encoder = expert0.clone_params()
         self._bootstrap_snapshot = expert0.clone_params()
         # First snapshot of party-side state (no reports exist for W0).
-        for pid, party in ctx.parties.items():
+        for pid, party in ctx.iter_parties():
             embeddings, labels = party.embeddings_with_labels(
                 self._encoder, split="train",
                 max_samples=self.config.embedding_samples,

@@ -87,22 +87,21 @@ class FederatedShiftDataset:
         x = apply_corruption(x, regime.corruption, regime.severity, rng)
         return x, y
 
-    def party_window(self, party: int, window: int) -> PartyWindowData:
-        """Materialize (and cache) one party's data for one window."""
-        if not 0 <= party < self.spec.num_parties:
-            raise ValueError(f"party {party} out of range")
-        if not 0 <= window < self.spec.num_windows:
-            raise ValueError(f"window {window} out of range")
-        key = (party, window)
-        if key in self._cache:
-            return self._cache[key]
+    def _assemble_window(self, party: int, shard: int,
+                         window: int) -> PartyWindowData:
+        """Build one window: regimes/priors from ``shard``'s schedule slot,
+        sample draws from ``party``'s own RNG streams.
 
-        regime = self.schedule.regime_of(window, party)
-        prior = self.schedule.prior_of(window, party)
+        For in-schedule parties ``shard == party`` and this is the historical
+        generation path bit for bit; virtual parties (``party`` beyond the
+        schedule) reuse a shard's shift trajectory with private data draws.
+        """
+        regime = self.schedule.regime_of(window, shard)
+        prior = self.schedule.prior_of(window, shard)
         n_train, n_test = self.spec.train_per_window, self.spec.test_per_window
 
         carry = 0
-        prev_regime = self.schedule.regime_of(window - 1, party) if window > 0 else None
+        prev_regime = self.schedule.regime_of(window - 1, shard) if window > 0 else None
         regime_changed = (prev_regime is not None
                           and prev_regime.regime_id != regime.regime_id)
         if self.sliding_overlap > 0 and regime_changed:
@@ -112,7 +111,7 @@ class FederatedShiftDataset:
             party, window, n_train - carry, "train", regime, prior
         )
         if carry and prev_regime is not None:
-            prev_prior = self.schedule.prior_of(window - 1, party)
+            prev_prior = self.schedule.prior_of(window - 1, shard)
             x_old, y_old = self._generate_split(
                 party, window, carry, "train-overlap", prev_regime, prev_prior
             )
@@ -122,7 +121,7 @@ class FederatedShiftDataset:
             x_train, y_train = x_new, y_new
 
         x_test, y_test = self._generate_split(party, window, n_test, "test", regime, prior)
-        data = PartyWindowData(
+        return PartyWindowData(
             party_id=party,
             window=window,
             x_train=x_train,
@@ -132,8 +131,41 @@ class FederatedShiftDataset:
             regime=regime,
             label_prior=prior.copy(),
         )
+
+    def party_window(self, party: int, window: int) -> PartyWindowData:
+        """Materialize (and cache) one party's data for one window."""
+        if not 0 <= party < self.spec.num_parties:
+            raise ValueError(f"party {party} out of range")
+        if not 0 <= window < self.spec.num_windows:
+            raise ValueError(f"window {window} out of range")
+        key = (party, window)
+        if key in self._cache:
+            return self._cache[key]
+        data = self._assemble_window(party, party, window)
         self._cache[key] = data
         return data
+
+    def virtual_party_window(self, party: int, window: int) -> PartyWindowData:
+        """One window for a party that may lie beyond the schedule.
+
+        Virtual parties (``party >= spec.num_parties``) follow the shift
+        trajectory of dataset shard ``party % spec.num_parties`` but draw
+        their samples from their own ``(seed, "data", party, ...)`` streams,
+        so a million-party population has a million distinct datasets over
+        ``num_parties`` schedule slots.  Virtual windows are *not* cached —
+        the :class:`~repro.federation.pool.PartyPool` regenerates them on
+        materialization, which is what keeps pooled memory flat in the
+        population size.  In-schedule ids delegate to :meth:`party_window`
+        (cached, bitwise-identical to the eager path).
+        """
+        if party < 0:
+            raise ValueError(f"party {party} out of range")
+        if party < self.spec.num_parties:
+            return self.party_window(party, window)
+        if not 0 <= window < self.spec.num_windows:
+            raise ValueError(f"window {window} out of range")
+        return self._assemble_window(party, party % self.spec.num_parties,
+                                     window)
 
     def window_data(self, window: int) -> list[PartyWindowData]:
         """All parties' data for one window."""

@@ -26,6 +26,7 @@ from repro.experiments.executors import SerialExecutor
 from repro.experiments.registry import build_strategy
 from repro.experiments.results import ComparisonResult
 from repro.federation.async_engine import FederationConfig
+from repro.federation.pool import PopulationConfig
 from repro.federation.rounds import RoundConfig
 from repro.harness.profiles import RunSettings, get_profile
 from repro.nn.training import LocalTrainingConfig
@@ -107,6 +108,16 @@ class ExperimentPlan:
     their bank rows from training until aggregation.  ``None`` defers to
     the profile settings (off); sealing is exact, so flipping it never
     changes results.
+
+    ``population`` declares a virtual-party population (see
+    :class:`~repro.federation.pool.PopulationConfig`): parties become
+    seeded specs materialized on dispatch by a bounded
+    :class:`~repro.federation.pool.PartyPool` instead of eager objects, so
+    a plan can request 10^5–10^6 clients.  ``cohort_size`` overrides the
+    profile's per-round participant budget (the natural companion knob:
+    population fixes how many parties *exist*, cohort_size how many train
+    per round).  Both serialize with the plan; ``None`` defers to the
+    profile settings.
     """
 
     dataset: str
@@ -120,6 +131,8 @@ class ExperimentPlan:
     federation: FederationConfig | None = None
     shards: int | None = None
     secure_aggregation: bool | None = None
+    population: PopulationConfig | None = None
+    cohort_size: int | None = None
 
     def __post_init__(self) -> None:
         self.strategies = tuple(self.strategies)
@@ -140,6 +153,11 @@ class ExperimentPlan:
         if self.federation is not None and not isinstance(self.federation,
                                                           FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
+        self.population = PopulationConfig.from_value(self.population)
+        if self.cohort_size is not None:
+            self.cohort_size = int(self.cohort_size)
+            if self.cohort_size < 1:
+                raise ValueError("cohort_size must be at least 1 when given")
         labels = [s.label for s in self.strategies]
         dupes = {label for label in labels if labels.count(label) > 1}
         if dupes:
@@ -154,7 +172,9 @@ class ExperimentPlan:
               name: str = "", dtype: str | None = None,
               federation: FederationConfig | None = None,
               shards: int | None = None,
-              secure_aggregation: bool | None = None) -> "ExperimentPlan":
+              secure_aggregation: bool | None = None,
+              population: "PopulationConfig | int | None" = None,
+              cohort_size: int | None = None) -> "ExperimentPlan":
         """Flexible constructor: strategies as names, mapping, or specs.
 
         ``strategies`` may be an iterable of names/StrategySpecs or a mapping
@@ -180,7 +200,8 @@ class ExperimentPlan:
                    spec_override=spec_override,
                    settings_override=settings_override, name=name,
                    dtype=dtype, federation=federation, shards=shards,
-                   secure_aggregation=secure_aggregation)
+                   secure_aggregation=secure_aggregation,
+                   population=population, cohort_size=cohort_size)
 
     # -------------------------------------------------------------- execution
 
@@ -212,6 +233,16 @@ class ExperimentPlan:
                 and settings.secure_aggregation != self.secure_aggregation):
             settings = dataclasses.replace(
                 settings, secure_aggregation=self.secure_aggregation)
+        if self.population is not None and settings.population != self.population:
+            settings = dataclasses.replace(settings,
+                                           population=self.population)
+        if (self.cohort_size is not None
+                and settings.round_config.participants_per_round
+                != self.cohort_size):
+            settings = dataclasses.replace(
+                settings, round_config=dataclasses.replace(
+                    settings.round_config,
+                    participants_per_round=self.cohort_size))
         return spec, settings
 
     def run(self, executor=None, callbacks=()) -> ComparisonResult:
@@ -250,6 +281,10 @@ class ExperimentPlan:
             out["shards"] = self.shards
         if self.secure_aggregation is not None:
             out["secure_aggregation"] = self.secure_aggregation
+        if self.population is not None:
+            out["population"] = self.population.to_dict()
+        if self.cohort_size is not None:
+            out["cohort_size"] = self.cohort_size
         if self.spec_override is not None:
             out["spec_override"] = dataclasses.asdict(self.spec_override)
         if self.settings_override is not None:
@@ -285,6 +320,8 @@ class ExperimentPlan:
                         if data.get("federation") is not None else None),
             shards=data.get("shards"),
             secure_aggregation=data.get("secure_aggregation"),
+            population=data.get("population"),
+            cohort_size=data.get("cohort_size"),
         )
 
 

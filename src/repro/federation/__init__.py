@@ -20,6 +20,13 @@ from repro.federation.availability import (
     AvailabilitySimulator,
     ReportFate,
 )
+from repro.federation.pool import (
+    PARTICIPATION_SKEWS,
+    CohortSampler,
+    PartyPool,
+    PartySpec,
+    PopulationConfig,
+)
 from repro.federation.rounds import RoundConfig, RoundStats, run_fl_round
 from repro.federation.async_engine import (
     PARTICIPATION_MODES,
@@ -41,6 +48,11 @@ __all__ = [
     "AvailabilityConfig",
     "AvailabilitySimulator",
     "ReportFate",
+    "PARTICIPATION_SKEWS",
+    "CohortSampler",
+    "PartyPool",
+    "PartySpec",
+    "PopulationConfig",
     "RoundConfig",
     "RoundStats",
     "run_fl_round",

@@ -101,26 +101,63 @@ class AvailabilitySimulator:
 
     ``num_parties`` fixes the population correlated outages sample from;
     dropout/straggler draws are per-party streams and do not need it.  All
-    methods are pure functions of ``(seed, party_id, tick)`` — the simulator
-    keeps no mutable state, so replaying any round gives the same fates.
+    methods are pure functions of ``(seed, party_id, tick)`` — the caches
+    here only memoize those pure draws, so replaying any round gives the
+    same fates.  ``enumeration_limit`` bounds the exact-subset outage
+    regime: see :attr:`enumerates_outages` for the O(cohort) large-population
+    derivation.
     """
 
     def __init__(self, config: AvailabilityConfig, seed: int = 0,
-                 num_parties: int | None = None) -> None:
+                 num_parties: int | None = None,
+                 enumeration_limit: int = 4096) -> None:
         self.config = config
         self.seed = seed
         self.num_parties = num_parties
+        self.enumeration_limit = enumeration_limit
+        self._outage_cache: dict[int, frozenset[int]] = {}
+
+    @property
+    def enumerates_outages(self) -> bool:
+        """True when outage membership is an exact-``k`` enumerated subset.
+
+        Below ``enumeration_limit`` each outage knocks out exactly
+        ``round(outage_fraction * num_parties)`` parties — the historical
+        semantics, preserved bitwise.  Above it, enumerating the population
+        per round would make dispatch O(population), so membership switches
+        to an independent per-(party, start) Bernoulli(``outage_fraction``)
+        draw from a counter-based spawn of the party's stream: same expected
+        outage size, O(cohort) queries.
+        """
+        return (bool(self.num_parties)
+                and self.num_parties <= self.enumeration_limit)
+
+    def _outage_start_active(self, start: int) -> bool:
+        """Whether a correlated outage begins at round ``start`` (the first
+        draw of the start's stream — identical bits on both regimes)."""
+        rng = spawn_rng(self.seed, "availability-outage", start)
+        return rng.random() < self.config.outage_prob
 
     def outage_parties(self, tick: int) -> frozenset[int]:
         """Parties knocked out at ``tick`` by any outage still in progress.
 
         Stateless on purpose: an outage starting at round ``s`` covers rounds
         ``[s, s + outage_rounds)``, so membership at ``tick`` is the union
-        over possible start rounds — replayable from the seed alone.
+        over possible start rounds — replayable from the seed alone.  Only
+        valid on the enumeration regime; large populations must query
+        :meth:`party_in_outage` per cohort member instead.
         """
         cfg = self.config
         if cfg.outage_prob <= 0 or not self.num_parties:
             return frozenset()
+        if not self.enumerates_outages:
+            raise ValueError(
+                f"population {self.num_parties} exceeds enumeration_limit "
+                f"{self.enumeration_limit}; query party_in_outage(party, "
+                f"tick) instead of enumerating the outage set")
+        cached = self._outage_cache.get(tick)
+        if cached is not None:
+            return cached
         affected: set[int] = set()
         for start in range(max(0, tick - cfg.outage_rounds + 1), tick + 1):
             rng = spawn_rng(self.seed, "availability-outage", start)
@@ -131,16 +168,44 @@ class AvailabilitySimulator:
                 continue
             affected.update(int(p) for p in rng.choice(
                 self.num_parties, size=min(k, self.num_parties), replace=False))
-        return frozenset(affected)
+        if len(self._outage_cache) >= 8:
+            self._outage_cache.clear()
+        result = frozenset(affected)
+        self._outage_cache[tick] = result
+        return result
+
+    def party_in_outage(self, party_id: int, tick: int) -> bool:
+        """O(outage_rounds) membership query — never enumerates the population.
+
+        Above the enumeration limit, membership in an active outage is a
+        per-(party, start) Bernoulli(``outage_fraction``) draw spawned from
+        the start round counter, so a cohort's fates cost O(cohort) while
+        any two queries for the same (party, tick) agree.
+        """
+        cfg = self.config
+        if cfg.outage_prob <= 0 or not self.num_parties:
+            return False
+        if self.enumerates_outages:
+            return party_id in self.outage_parties(tick)
+        for start in range(max(0, tick - cfg.outage_rounds + 1), tick + 1):
+            if not self._outage_start_active(start):
+                continue
+            draw = spawn_rng(self.seed, "availability-outage", start,
+                             "member", party_id).random()
+            if draw < cfg.outage_fraction:
+                return True
+        return False
 
     def fate(self, party_id: int, tick: int,
              outage: frozenset[int] | None = None) -> ReportFate:
         """Decide a dispatched report's fate; pass a precomputed ``outage``
         set when calling for a whole cohort to avoid re-deriving it."""
         cfg = self.config
-        if outage is None:
-            outage = self.outage_parties(tick)
-        if party_id in outage:
+        if outage is not None:
+            in_outage = party_id in outage
+        else:
+            in_outage = self.party_in_outage(party_id, tick)
+        if in_outage:
             return ReportFate(party_id, dropped=True, delay=0, in_outage=True)
         if not cfg.is_active:
             return ReportFate(party_id, dropped=False, delay=0)
@@ -157,6 +222,8 @@ class AvailabilitySimulator:
         return ReportFate(party_id, dropped=False, delay=delay)
 
     def cohort_fates(self, party_ids: list[int], tick: int) -> list[ReportFate]:
-        """Fates for a whole cohort at one tick (one outage evaluation)."""
-        outage = self.outage_parties(tick)
-        return [self.fate(pid, tick, outage=outage) for pid in party_ids]
+        """Fates for a whole cohort at one tick — O(cohort) either regime."""
+        if self.config.outage_prob > 0 and self.enumerates_outages:
+            outage = self.outage_parties(tick)
+            return [self.fate(pid, tick, outage=outage) for pid in party_ids]
+        return [self.fate(pid, tick) for pid in party_ids]

@@ -35,27 +35,47 @@ class Party:
     """A federated client with per-window private data."""
 
     def __init__(self, party_id: int, model: Sequential, num_classes: int,
-                 seed: int = 0) -> None:
+                 seed: int = 0, population: int | None = None) -> None:
         self.party_id = party_id
         self.num_classes = num_classes
         self.seed = seed
+        self.population = population
         self._model = model
         self._data: PartyWindowData | None = None
+        self._last_window: int | None = None
+
+    def _describe(self) -> str:
+        if self.population is not None:
+            return f"party {self.party_id} (population {self.population})"
+        return f"party {self.party_id}"
 
     # ------------------------------------------------------------------ data plane
 
     def set_window_data(self, data: PartyWindowData) -> None:
         if data.party_id != self.party_id:
             raise ValueError(
-                f"window data for party {data.party_id} given to party {self.party_id}"
+                f"window {data.window} data for party {data.party_id} "
+                f"given to {self._describe()}"
             )
         self._data = data
+        self._last_window = data.window
 
     @property
     def data(self) -> PartyWindowData:
         if self._data is None:
-            raise RuntimeError(f"party {self.party_id} has no window data yet")
+            hint = ("" if self._last_window is None
+                    else f" (window {self._last_window} data was released)")
+            raise RuntimeError(
+                f"{self._describe()} has no window data yet{hint}")
         return self._data
+
+    def release(self) -> None:
+        """Drop the window-data reference.
+
+        Pool eviction calls this so a dematerialized party can never keep a
+        data shard alive; the next ``set_window_data`` rebinds it.
+        """
+        self._data = None
 
     @property
     def has_data(self) -> bool:

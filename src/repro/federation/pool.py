@@ -1,0 +1,407 @@
+"""Virtual-party residency: scale the simulator to million-party populations.
+
+The eager harness builds one live :class:`~repro.federation.party.Party` per
+client — a model replica plus a window of data each — which caps populations
+at a few thousand.  This module inverts that: a party *is* its seeded
+:class:`PartySpec` (party id, dataset shard, RNG root, dtype), and
+:class:`PartyPool` materializes the live object only while it is needed —
+on dispatch it binds a model replica from a small reusable free list and
+generates the party's window data from the spec; after the party's report
+lands its state is evicted again (bounded LRU).  Because every piece of
+party state is a pure function of ``(seed, labels...)`` streams
+(:func:`~repro.utils.rng.spawn_rng`), materialization order is invisible to
+results: a pooled run with ``population == spec.num_parties`` and an
+unbounded pool reproduces the eager path bit for bit, which
+``tests/test_party_pool.py`` pins for all six strategies.
+
+Residency invariants
+--------------------
+1. **Materialization is pure.**  A party's training draws are labelled by
+   ``(seed, "party-train", party_id, round_tag)`` and its data by
+   ``(spec.seed, "data", party_id, window, split)``, so evicting and
+   rebuilding a party between rounds cannot change any number it produces.
+2. **Model replicas are interchangeable.**  Every protocol op
+   (``local_train`` / ``evaluate`` / ``embeddings``) starts with
+   ``set_params``, so a replica's weights on arrival never matter; the pool
+   therefore recycles ``Sequential`` instances through a free list instead
+   of rebuilding layer buffers per materialization.
+3. **Pinned residents are never evicted.**  ``acquire``/``release`` wrap a
+   party's in-flight window (the cohort loop pins each trainee); capacity
+   pressure skips pinned rows, temporarily overshooting ``max_resident``
+   rather than corrupting a straggler mid-training.  Bank rows holding
+   buffered *reports* live in the
+   :class:`~repro.federation.async_engine.AsyncRoundBuffer` and are
+   independent of party residency — evicting a party never touches its
+   in-flight report.
+4. **Eviction is deterministic.**  Same seed, same access sequence → same
+   eviction order (``eviction_log``); the LRU holds insertion/access order
+   only, never wall-clock state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.data.federated import FederatedShiftDataset
+from repro.data.registry import DatasetSpec
+from repro.federation.party import Party
+from repro.nn.models import build_model
+from repro.utils.params import resolve_dtype
+from repro.utils.rng import spawn_rng
+
+PARTICIPATION_SKEWS = ("uniform", "zipf")
+
+
+@dataclass(frozen=True)
+class PartySpec:
+    """A virtual party's whole identity — enough to rebuild it exactly.
+
+    ``shard_id`` names the dataset shard (``party_id % spec.num_parties``)
+    whose shift schedule the party lives on; ``seed`` is the run's root seed
+    whose ``("party-train", party_id, ...)`` labels are the party's private
+    RNG stream.  Two pools given the same spec materialize bitwise-identical
+    parties.
+    """
+
+    party_id: int
+    shard_id: int
+    seed: int
+    dtype: str | None = None
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Declarative population-scale knobs (``RunSettings.population``).
+
+    * ``size`` — how many virtual parties exist.  ``size == spec.num_parties``
+      with ``max_resident=None`` reproduces the eager path bitwise.
+    * ``max_resident`` — LRU bound on live parties (None = unbounded).
+    * ``skew`` / ``zipf_a`` — cohort participation distribution: ``uniform``
+      or ``zipf`` (rank ``i`` drawn with weight ``(i + 1) ** -zipf_a``).
+    * ``survey`` — optional cap on whole-population surveys
+      (:meth:`PartyPool.survey_ids`): strategy bookkeeping that would
+      otherwise enumerate every party sees a fixed seeded subset instead.
+    """
+
+    size: int
+    max_resident: int | None = None
+    skew: str = "uniform"
+    zipf_a: float = 1.2
+    survey: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"population size must be positive; got {self.size}")
+        if self.max_resident is not None and self.max_resident < 1:
+            raise ValueError("max_resident must be positive when given")
+        if self.skew not in PARTICIPATION_SKEWS:
+            raise ValueError(
+                f"skew must be one of {PARTICIPATION_SKEWS}; got '{self.skew}'")
+        if self.zipf_a <= 0:
+            raise ValueError("zipf_a must be positive")
+        if self.survey is not None and self.survey < 1:
+            raise ValueError("survey must be positive when given")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_value(cls, value) -> "PopulationConfig | None":
+        """Coerce None / int / mapping / PopulationConfig (serialization)."""
+        if value is None or isinstance(value, PopulationConfig):
+            return value
+        if isinstance(value, (int, np.integer)):
+            return cls(size=int(value))
+        if isinstance(value, Mapping):
+            return cls(**dict(value))
+        raise TypeError(f"cannot interpret population {value!r}")
+
+
+class CohortSampler:
+    """Seeded cohort draws from a population-scale participation skew.
+
+    ``uniform`` is a plain without-replacement draw — numpy's
+    ``Generator.choice(n, k, replace=False)`` is O(k) time and memory even
+    at n = 1e6, and produces the same bits as sampling from the materialized
+    sorted id list, which is what keeps pooled selection identical to the
+    eager strategies' ``rng.choice(sorted(parties), ...)``.  ``zipf`` draws
+    rank ``i`` with weight ``(i + 1) ** -zipf_a`` via inverse-CDF rejection
+    on a lazily built cumulative table (the only O(population) allocation,
+    made once and only when the skew is actually zipf).
+    """
+
+    def __init__(self, population: int, skew: str = "uniform",
+                 zipf_a: float = 1.2) -> None:
+        if population < 1:
+            raise ValueError("population must be positive")
+        if skew not in PARTICIPATION_SKEWS:
+            raise ValueError(
+                f"skew must be one of {PARTICIPATION_SKEWS}; got '{skew}'")
+        if zipf_a <= 0:
+            raise ValueError("zipf_a must be positive")
+        self.population = int(population)
+        self.skew = skew
+        self.zipf_a = float(zipf_a)
+        self._cum: np.ndarray | None = None
+
+    def _cumulative(self) -> np.ndarray:
+        if self._cum is None:
+            ranks = np.arange(1, self.population + 1, dtype=np.float64)
+            self._cum = np.cumsum(ranks ** -self.zipf_a)
+        return self._cum
+
+    def sample(self, rng: np.random.Generator, k: int) -> list[int]:
+        """``k`` distinct party ids (ordered as drawn, like ``rng.choice``)."""
+        k = int(min(k, self.population))
+        if k <= 0:
+            raise ValueError("cohort size must be positive")
+        if self.skew == "uniform":
+            return [int(p) for p in
+                    rng.choice(self.population, size=k, replace=False)]
+        if k >= self.population:
+            return list(range(self.population))
+        cum = self._cumulative()
+        total = float(cum[-1])
+        if 4 * k >= self.population:
+            # Rejection would coupon-collect the tail; fall back to numpy's
+            # exact weighted draw (fine at the small populations this hits).
+            weights = np.diff(cum, prepend=0.0)
+            return [int(p) for p in rng.choice(
+                self.population, size=k, replace=False, p=weights / total)]
+        chosen: list[int] = []
+        seen: set[int] = set()
+        while len(chosen) < k:
+            draws = rng.random(k - len(chosen)) * total
+            for idx in np.searchsorted(cum, draws, side="right"):
+                pid = int(idx)
+                if pid not in seen:
+                    seen.add(pid)
+                    chosen.append(pid)
+        return chosen
+
+
+class PartyPool(Mapping):
+    """A population of virtual parties behind the ``dict[int, Party]`` API.
+
+    Drop-in for the eager party dict everywhere the harness passes one:
+    ``pool[pid]`` materializes (or returns the resident) party ``pid`` with
+    its current window's data bound; ``len(pool)`` is the *population*, not
+    the resident count.  The life cycle::
+
+        PartySpec ──materialize──▶ resident Party ──report──▶ evicted
+           ▲        (model from free list,            (LRU, pin-aware)  │
+           └────────────────── window data from spec) ◀─────────────────┘
+
+    ``acquire``/``release`` pin a party for its in-flight training window;
+    :func:`~repro.federation.rounds.train_cohort` calls them around each
+    trainee when the mapping exposes them (plain dicts don't).
+    """
+
+    def __init__(self, spec: DatasetSpec,
+                 dataset: FederatedShiftDataset | None = None, *,
+                 population: int | None = None, seed: int = 0,
+                 dtype=None, max_resident: int | None = None,
+                 skew: str = "uniform", zipf_a: float = 1.2,
+                 survey: int | None = None) -> None:
+        self.spec = spec
+        self.dataset = (dataset if dataset is not None
+                        else FederatedShiftDataset(spec))
+        self.population = (int(population) if population is not None
+                           else int(spec.num_parties))
+        if self.population < 1:
+            raise ValueError("population must be positive")
+        if max_resident is not None:
+            max_resident = int(max_resident)
+            if max_resident < 1:
+                raise ValueError("max_resident must be positive when given")
+        if survey is not None:
+            survey = int(survey)
+            if survey < 1:
+                raise ValueError("survey must be positive when given")
+        self.seed = int(seed)
+        self.dtype = resolve_dtype(dtype) if dtype is not None else None
+        self.max_resident = max_resident
+        self.survey = survey
+        self.sampler = CohortSampler(self.population, skew=skew, zipf_a=zipf_a)
+        self._window = 0
+        self._resident: "OrderedDict[int, Party]" = OrderedDict()
+        self._models: dict[int, object] = {}  # model lent to each resident
+        self._free_models: list[object] = []
+        self._data_window: dict[int, int] = {}
+        self._pins: dict[int, int] = {}
+        self._survey_ids: tuple[int, ...] | None = None
+        self.eviction_log: list[int] = []
+        self.counters = {
+            "materialized": 0, "resident_hits": 0, "evictions": 0,
+            "models_built": 0, "data_binds": 0, "peak_resident": 0,
+        }
+
+    @classmethod
+    def from_config(cls, spec: DatasetSpec,
+                    dataset: FederatedShiftDataset | None,
+                    config: PopulationConfig, *, seed: int = 0,
+                    dtype=None) -> "PartyPool":
+        return cls(spec, dataset, population=config.size, seed=seed,
+                   dtype=dtype, max_resident=config.max_resident,
+                   skew=config.skew, zipf_a=config.zipf_a,
+                   survey=config.survey)
+
+    # ------------------------------------------------------------------ mapping
+
+    def __len__(self) -> int:
+        return self.population
+
+    def __iter__(self):
+        return iter(range(self.population))
+
+    def __contains__(self, pid) -> bool:
+        return (isinstance(pid, (int, np.integer))
+                and 0 <= int(pid) < self.population)
+
+    def __getitem__(self, pid) -> Party:
+        if pid not in self:
+            raise KeyError(pid)
+        pid = int(pid)
+        party = self._resident.get(pid)
+        if party is None:
+            party = self._materialize(pid)
+        else:
+            self._resident.move_to_end(pid)
+            self.counters["resident_hits"] += 1
+        if self._data_window.get(pid) != self._window:
+            party.set_window_data(
+                self.dataset.virtual_party_window(pid, self._window))
+            self._data_window[pid] = self._window
+            self.counters["data_binds"] += 1
+        return party
+
+    # ------------------------------------------------------------------ specs
+
+    def spec_for(self, pid: int) -> PartySpec:
+        """The pure identity pool state is rebuilt from on materialization."""
+        if pid not in self:
+            raise KeyError(pid)
+        return PartySpec(
+            party_id=int(pid),
+            shard_id=int(pid) % self.spec.num_parties,
+            seed=self.seed,
+            dtype=str(self.dtype) if self.dtype is not None else None,
+        )
+
+    # ------------------------------------------------------------------ residency
+
+    def _materialize(self, pid: int) -> Party:
+        if self._free_models:
+            model = self._free_models.pop()
+        else:
+            model = build_model(self.spec.model_name, self.spec.input_shape,
+                                self.spec.num_classes,
+                                spawn_rng(self.seed, "party-model", pid),
+                                dtype=self.dtype)
+            self.counters["models_built"] += 1
+        party = Party(pid, model, self.spec.num_classes, seed=self.seed,
+                      population=self.population)
+        self._resident[pid] = party
+        self._models[pid] = model
+        self.counters["materialized"] += 1
+        if len(self._resident) > self.counters["peak_resident"]:
+            self.counters["peak_resident"] = len(self._resident)
+        self._evict_over_capacity(protect=pid)
+        return party
+
+    def _evict_over_capacity(self, protect: int | None = None) -> None:
+        if self.max_resident is None:
+            return
+        while len(self._resident) > self.max_resident:
+            victim = None
+            for pid in self._resident:  # LRU order: least recent first
+                if pid in self._pins or pid == protect:
+                    continue
+                victim = pid
+                break
+            if victim is None:
+                return  # every resident pinned: overshoot, never corrupt
+            self._evict(victim)
+
+    def _evict(self, pid: int) -> None:
+        party = self._resident.pop(pid)
+        party.release()  # the data reference must not outlive residency
+        self._data_window.pop(pid, None)
+        self._free_models.append(self._models.pop(pid))
+        self.eviction_log.append(pid)
+        self.counters["evictions"] += 1
+
+    def acquire(self, pid) -> Party:
+        """Materialize and pin ``pid``: pinned residents are never evicted."""
+        party = self[pid]
+        pid = int(pid)
+        self._pins[pid] = self._pins.get(pid, 0) + 1
+        return party
+
+    def release(self, pid) -> None:
+        """Drop one pin; the last release makes the party evictable again."""
+        pid = int(pid)
+        count = self._pins.get(pid, 0)
+        if count <= 0:
+            raise ValueError(f"party {pid} is not pinned")
+        if count == 1:
+            del self._pins[pid]
+            self._evict_over_capacity()
+        else:
+            self._pins[pid] = count - 1
+
+    def resident_ids(self) -> tuple[int, ...]:
+        """Currently resident parties in LRU order (tests/bench introspection)."""
+        return tuple(self._resident)
+
+    def pinned_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._pins))
+
+    # ------------------------------------------------------------------ windows
+
+    def begin_window(self, window: int) -> None:
+        """Invalidate every resident's bound data; rebind lazily on access."""
+        self._window = int(window)
+        for party in self._resident.values():
+            party.release()
+        self._data_window.clear()
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    # ------------------------------------------------------------------ surveys
+
+    def survey_ids(self) -> tuple[int, ...]:
+        """Stable id order for whole-population surveys (strategy state).
+
+        Every id when ``survey`` is unset; otherwise a fixed seeded subset,
+        so survey-driven strategy bookkeeping stays O(survey) at scale.
+        """
+        if self._survey_ids is None:
+            if self.survey is None or self.survey >= self.population:
+                self._survey_ids = tuple(range(self.population))
+            else:
+                rng = spawn_rng(self.seed, "party-pool-survey")
+                ids = rng.choice(self.population, size=self.survey,
+                                 replace=False)
+                self._survey_ids = tuple(sorted(int(p) for p in ids))
+        return self._survey_ids
+
+    # ------------------------------------------------------------------ summary
+
+    def summary(self) -> dict:
+        """Deterministic residency counters (lands in result extras)."""
+        return {
+            "population": self.population,
+            "max_resident": self.max_resident,
+            "skew": self.sampler.skew,
+            "resident": len(self._resident),
+            "pinned": len(self._pins),
+            "free_models": len(self._free_models),
+            **{k: int(v) for k, v in self.counters.items()},
+        }

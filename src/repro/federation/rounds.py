@@ -109,7 +109,15 @@ def train_cohort(parties: dict[int, Party], participant_ids: list[int],
     trained vector lands in its row — the secure-aggregation hook masks the
     row there, before the next party trains, so an unmasked update is never
     left resident once control returns from the party.
+
+    When ``parties`` is a :class:`~repro.federation.pool.PartyPool` (any
+    mapping exposing ``acquire``/``release``), each trainee is pinned for
+    exactly its training call, so residency pressure from materializing the
+    rest of the cohort can never evict a party mid-training.  Plain dicts
+    skip the pinning entirely.
     """
+    acquire = getattr(parties, "acquire", None)
+    release = getattr(parties, "release", None)
     rows: list[int] = []
     updates = []
     for party_id in participant_ids:
@@ -117,10 +125,15 @@ def train_cohort(parties: dict[int, Party], participant_ids: list[int],
             raise KeyError(f"unknown party id {party_id}")
         row = bank.alloc()
         rows.append(row)
-        update = parties[party_id].local_train(
-            params, config.local, round_tag, out_flat=bank.row(row))
-        if seal is not None:
-            seal(party_id, row, update)
+        party = acquire(party_id) if acquire is not None else parties[party_id]
+        try:
+            update = party.local_train(
+                params, config.local, round_tag, out_flat=bank.row(row))
+            if seal is not None:
+                seal(party_id, row, update)
+        finally:
+            if release is not None:
+                release(party_id)
         updates.append(update)
     return rows, updates
 
@@ -204,7 +217,11 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
 
     Returns the FedAvg-aggregated parameters and round statistics.  The
     caller owns participant selection (uniform, OORT, FLIPS, ...) so every
-    strategy can reuse this loop.
+    strategy can reuse this loop.  ``parties`` is any ``int -> Party``
+    mapping: the eager dict or a
+    :class:`~repro.federation.pool.PartyPool`, which materializes each
+    participant on first touch and is pinned per-trainee by
+    :func:`train_cohort`.
 
     ``engine`` (a :class:`~repro.federation.async_engine.FederationEngine`)
     switches the round to simulated-availability participation; ``stream``

@@ -69,9 +69,58 @@ class StrategyContext:
     federation: "FederationEngine | None" = None
     shard_plan: ShardPlan = field(default_factory=ShardPlan)
     secure_aggregation: int | None = None
+    _party_ids: "tuple[int, ...] | None" = field(default=None, init=False,
+                                                 repr=False, compare=False)
 
     def rng(self, *labels: object) -> np.random.Generator:
         return spawn_rng(self.seed, *labels)
+
+    # ------------------------------------------------------------- population
+
+    @property
+    def population(self) -> int:
+        """How many parties exist — virtual and resident alike."""
+        return len(self.parties)
+
+    @property
+    def party_ids(self) -> tuple[int, ...]:
+        """Stable id order for whole-population surveys.
+
+        For the eager dict this is every id, sorted — the order strategies
+        historically iterated, so survey-driven state is bit-identical.  A
+        :class:`~repro.federation.pool.PartyPool` may cap it to a seeded
+        survey subset so per-party bookkeeping stays bounded at scale.
+        """
+        if self._party_ids is None:
+            survey = getattr(self.parties, "survey_ids", None)
+            ids = survey() if callable(survey) else sorted(self.parties)
+            self._party_ids = tuple(int(p) for p in ids)
+        return self._party_ids
+
+    def iter_parties(self):
+        """``(pid, Party)`` pairs in survey order (materializes pooled ids)."""
+        for pid in self.party_ids:
+            yield pid, self.parties[pid]
+
+    def sample_cohort(self, rng: np.random.Generator,
+                      k: int | None = None) -> list[int]:
+        """Draw a round cohort of ``k`` ids (default: the round-config knob).
+
+        The eager path draws without replacement from the sorted id list —
+        the exact historical selection bits.  A pool delegates to its
+        :class:`~repro.federation.pool.CohortSampler`, whose uniform draw
+        produces those same bits over ``range(population)`` without ever
+        materializing an id list, and whose ``zipf`` skew models heavy-tail
+        participation at scale.
+        """
+        if k is None:
+            k = self.round_config.participants_per_round
+        k = min(int(k), len(self.parties))
+        sampler = getattr(self.parties, "sampler", None)
+        if sampler is not None:
+            return sampler.sample(rng, k)
+        return [int(p) for p in rng.choice(sorted(self.parties), size=k,
+                                           replace=False)]
 
     def new_model_params(self, *labels: object) -> Params:
         """Freshly initialized model parameters (deterministic per label)."""
@@ -117,11 +166,16 @@ class ContinualStrategy:
         return self.ctx
 
     def evaluate_all_parties(self) -> dict[int, float]:
-        """Per-party test accuracy under each party's assigned model."""
+        """Per-party test accuracy under each party's assigned model.
+
+        Iterates the context's survey order so a pooled population evaluates
+        its bounded survey subset instead of materializing every virtual
+        party.
+        """
         ctx = self.context
         return {
             pid: party.evaluate(self.params_for_party(pid))[0]
-            for pid, party in ctx.parties.items()
+            for pid, party in ctx.iter_parties()
         }
 
     def mean_accuracy(self) -> float:

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.data.registry import DatasetSpec, get_dataset_spec
 from repro.federation.async_engine import FederationConfig
+from repro.federation.pool import PopulationConfig
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
 from repro.utils.params import resolve_dtype
@@ -41,6 +42,16 @@ class RunSettings:
     default) uses the worker pool only for operations big enough to beat
     the IPC round trip, ``process``/``serial`` force one side.
 
+    ``population`` (a :class:`~repro.federation.pool.PopulationConfig`, an
+    int size, or a mapping) switches the run to *virtual parties*: instead
+    of eagerly building ``spec.num_parties`` live parties, a
+    :class:`~repro.federation.pool.PartyPool` of ``population.size`` seeded
+    specs materializes parties on dispatch and evicts them after their
+    reports (bounded LRU), so populations of 10^5–10^6 clients run in flat
+    memory.  ``population.size == spec.num_parties`` with an unbounded pool
+    reproduces the eager path bitwise; the default ``None`` never builds a
+    pool.
+
     ``secure_aggregation`` masks every federated round under a pairwise
     secure-aggregation session (see
     :mod:`repro.privacy.secure_aggregation`): party updates are sealed in
@@ -60,6 +71,7 @@ class RunSettings:
     shards: int = 1
     shard_backend: str = "auto"
     secure_aggregation: bool = False
+    population: PopulationConfig | None = None
 
     def __post_init__(self) -> None:
         if self.rounds_burn_in <= 0 or self.rounds_per_window <= 0:
@@ -71,6 +83,7 @@ class RunSettings:
         self.secure_aggregation = bool(self.secure_aggregation)
         if not isinstance(self.federation, FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
+        self.population = PopulationConfig.from_value(self.population)
 
     @property
     def np_dtype(self) -> np.dtype:

@@ -19,6 +19,7 @@ from repro.data.registry import DatasetSpec
 from repro.experiments.events import RunCallback, RunInfo, first_stop_reason
 from repro.federation.async_engine import build_engine
 from repro.federation.party import Party
+from repro.federation.pool import PartyPool
 from repro.federation.strategy import ContinualStrategy, StrategyContext
 from repro.harness.profiles import RunSettings
 from repro.metrics.windows import WindowSummary, summarize_run
@@ -78,7 +79,19 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     """
     ds = dataset if dataset is not None else FederatedShiftDataset(spec)
     dtype = settings.np_dtype
-    parties = _build_parties(spec, seed, dtype=dtype)
+    # ``settings.population`` switches the run to virtual parties: a
+    # PartyPool materializes each party on dispatch and evicts it after its
+    # report, so populations far beyond the eager dict's reach stay flat in
+    # memory.  population.size == spec.num_parties with an unbounded pool
+    # reproduces the eager path bitwise (tests/test_party_pool.py pins it).
+    pool = None
+    if settings.population is not None:
+        pool = PartyPool.from_config(spec, ds, settings.population,
+                                     seed=seed, dtype=dtype)
+        parties = pool
+    else:
+        parties = _build_parties(spec, seed, dtype=dtype)
+    num_parties = pool.population if pool is not None else spec.num_parties
 
     def model_factory():
         return build_model(spec.model_name, spec.input_shape, spec.num_classes,
@@ -88,7 +101,7 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     # stays on the engine-less synchronous path byte for byte.
     shard_plan = settings.shard_plan
     engine = build_engine(settings.federation, seed=seed,
-                          num_parties=spec.num_parties,
+                          num_parties=num_parties,
                           shard_plan=shard_plan)
     ctx = StrategyContext(
         spec=spec,
@@ -104,10 +117,16 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     )
     strategy.setup(ctx)
 
-    if settings.eval_parties is not None and settings.eval_parties < spec.num_parties:
+    eval_count = settings.eval_parties
+    if (eval_count is None and pool is not None
+            and pool.population > spec.num_parties):
+        # "Evaluate everyone" is O(population); at scale default to a seeded
+        # subset instead (the eager-equivalence regime is untouched).
+        eval_count = min(64, pool.population)
+    if eval_count is not None and eval_count < num_parties:
         eval_rng = spawn_rng(seed, "eval-subset")
         eval_ids = sorted(int(p) for p in eval_rng.choice(
-            spec.num_parties, size=settings.eval_parties, replace=False))
+            num_parties, size=eval_count, replace=False))
     else:
         eval_ids = sorted(parties)
 
@@ -138,8 +157,11 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
 
     stop_reason: str | None = None
     for window in range(spec.num_windows):
-        for pid in range(spec.num_parties):
-            parties[pid].set_window_data(ds.party_window(pid, window))
+        if pool is not None:
+            pool.begin_window(window)
+        else:
+            for pid in range(spec.num_parties):
+                parties[pid].set_window_data(ds.party_window(pid, window))
         if engine is not None:
             engine.begin_window(window)
         strategy.start_window(window)
@@ -186,6 +208,8 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     )
     if engine is not None:
         result.extras["federation"] = engine.summary()
+    if pool is not None:
+        result.extras["party_pool"] = pool.summary()
     if stop_reason is not None:
         result.extras.update(
             stopped_early=True,

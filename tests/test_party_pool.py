@@ -1,0 +1,538 @@
+"""Virtual-party residency tests: PartyPool must be invisible in the bits.
+
+The contract under test (ISSUE 6): a pooled run with ``population ==
+spec.num_parties`` and an unbounded pool reproduces the eager party-dict
+path bit for bit — for every strategy — and bounding the pool (LRU
+eviction, model recycling, lazy data rebinding) still cannot change a
+single number, because every piece of party state is a pure function of
+``(seed, labels...)`` RNG streams.  On top of that invariant sit the
+population-scale mechanics: O(cohort) sampling and availability at
+populations the eager path could never build, pin-aware eviction that
+never corrupts an in-flight straggler, and deterministic eviction order.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.federated import FederatedShiftDataset
+from repro.experiments.plan import ExperimentPlan
+from repro.experiments.registry import build_strategy, strategy_names
+from repro.federation.availability import (
+    AvailabilityConfig,
+    AvailabilitySimulator,
+)
+from repro.federation.party import Party
+from repro.federation.pool import (
+    PARTICIPATION_SKEWS,
+    CohortSampler,
+    PartyPool,
+    PartySpec,
+    PopulationConfig,
+)
+from repro.federation.strategy import StrategyContext
+from repro.harness.profiles import RunSettings
+from repro.harness.runner import run_strategy
+from repro.nn.models import build_model
+from repro.utils.rng import spawn_rng
+from repro.utils.serialization import run_result_to_dict
+from tests.conftest import make_run_settings, make_tiny_spec
+
+
+def _canonical(result, pooled: bool = False) -> str:
+    """A run result as comparable JSON minus wall-clock profiler noise."""
+    out = run_result_to_dict(result)
+    out.pop("profiler", None)
+    if pooled:
+        out.get("extras", {}).pop("party_pool", None)
+    return json.dumps(out, sort_keys=True)
+
+
+def _pooled_settings(base: RunSettings, population,
+                     max_resident: int | None = None) -> RunSettings:
+    config = PopulationConfig.from_value(population)
+    if max_resident is not None:
+        config = dataclasses.replace(config, max_resident=max_resident)
+    return dataclasses.replace(base, population=config)
+
+
+class TestPopulationConfig:
+    def test_from_value_coercions(self):
+        assert PopulationConfig.from_value(None) is None
+        assert PopulationConfig.from_value(8) == PopulationConfig(size=8)
+        cfg = PopulationConfig.from_value(
+            {"size": 100, "max_resident": 4, "skew": "zipf", "zipf_a": 1.5})
+        assert (cfg.size, cfg.max_resident, cfg.skew, cfg.zipf_a) == \
+            (100, 4, "zipf", 1.5)
+        assert PopulationConfig.from_value(cfg) is cfg
+        assert PopulationConfig.from_value(cfg.to_dict()) == cfg
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            PopulationConfig(size=0)
+        with pytest.raises(ValueError, match="max_resident"):
+            PopulationConfig(size=8, max_resident=0)
+        with pytest.raises(ValueError, match="skew"):
+            PopulationConfig(size=8, skew="bimodal")
+        with pytest.raises(ValueError, match="zipf_a"):
+            PopulationConfig(size=8, zipf_a=0.0)
+        with pytest.raises(ValueError, match="survey"):
+            PopulationConfig(size=8, survey=0)
+        with pytest.raises(TypeError):
+            PopulationConfig.from_value("12")
+
+
+class TestCohortSampler:
+    def test_uniform_matches_eager_selection_bitwise(self):
+        """The pooled uniform draw is the exact eager strategies' draw.
+
+        Eager selection is ``rng.choice(sorted(parties), k, replace=False)``
+        over the materialized id list; the pool draws ``choice(n, k)``
+        directly.  numpy guarantees the same bits for both forms, which is
+        the whole reason population == num_parties stays bitwise.
+        """
+        sampler = CohortSampler(24)
+        for draw in range(5):
+            rng_a = spawn_rng(7, "select", draw)
+            rng_b = spawn_rng(7, "select", draw)
+            pooled = sampler.sample(rng_a, 8)
+            eager = [int(p) for p in
+                     rng_b.choice(sorted(range(24)), size=8, replace=False)]
+            assert pooled == eager
+
+    def test_uniform_is_o_cohort_at_scale(self):
+        sampler = CohortSampler(1_000_000)
+        cohort = sampler.sample(spawn_rng(0, "big"), 64)
+        assert len(cohort) == len(set(cohort)) == 64
+        assert all(0 <= p < 1_000_000 for p in cohort)
+
+    def test_zipf_is_deterministic_and_skewed(self):
+        sampler = CohortSampler(100_000, skew="zipf", zipf_a=1.2)
+        first = sampler.sample(spawn_rng(3, "zipf"), 64)
+        second = sampler.sample(spawn_rng(3, "zipf"), 64)
+        assert first == second
+        assert len(set(first)) == 64
+        # Zipf mass concentrates on low ranks: the head must dominate a
+        # uniform draw's expected placement.
+        assert np.median(first) < 100_000 / 4
+
+    def test_zipf_dense_fallback_and_full_population(self):
+        sampler = CohortSampler(10, skew="zipf")
+        dense = sampler.sample(spawn_rng(1, "dense"), 6)  # 4*k >= population
+        assert len(set(dense)) == 6
+        assert sampler.sample(spawn_rng(1, "full"), 10) == list(range(10))
+        assert sampler.sample(spawn_rng(1, "over"), 99) == list(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CohortSampler(0)
+        with pytest.raises(ValueError):
+            CohortSampler(8, skew="bimodal")
+        with pytest.raises(ValueError):
+            CohortSampler(8, zipf_a=-1.0)
+        with pytest.raises(ValueError):
+            CohortSampler(8).sample(spawn_rng(0, "x"), 0)
+
+
+class TestPartyPoolResidency:
+    def _pool(self, **kwargs) -> PartyPool:
+        spec = make_tiny_spec(name="unit_pool", num_parties=4, num_windows=2,
+                              window_regimes=(("fog", 4),), seed=31)
+        return PartyPool(spec, FederatedShiftDataset(spec), seed=0, **kwargs)
+
+    def test_mapping_protocol(self):
+        pool = self._pool(population=10)
+        assert len(pool) == 10
+        assert list(pool) == list(range(10))
+        assert 9 in pool and 10 not in pool and -1 not in pool
+        assert sorted(pool) == list(range(10))
+        with pytest.raises(KeyError):
+            pool[10]
+
+    def test_spec_for_wraps_shards(self):
+        pool = self._pool(population=10, dtype="float32")
+        assert pool.spec_for(7) == PartySpec(party_id=7, shard_id=3, seed=0,
+                                             dtype="float32")
+        with pytest.raises(KeyError):
+            pool.spec_for(10)
+
+    def test_materialize_binds_current_window_data(self):
+        pool = self._pool(population=6)
+        party = pool[5]
+        assert isinstance(party, Party)
+        assert party.data.window == 0
+        pool.begin_window(1)
+        # Residents' stale data is dropped; access rebinds lazily.
+        assert pool[5].data.window == 1
+
+    def test_lru_eviction_is_deterministic(self):
+        logs = []
+        for _ in range(2):
+            pool = self._pool(population=8, max_resident=2)
+            for pid in (0, 1, 2, 0, 3, 4):
+                pool[pid]
+            logs.append(list(pool.eviction_log))
+        assert logs[0] == logs[1]
+        # 0,1 resident -> 2 evicts 0 -> touching 0 evicts 1 -> 3 evicts 2 ...
+        assert logs[0] == [0, 1, 2, 0]
+        assert pool.resident_ids() == (3, 4)
+        assert pool.counters["evictions"] == 4
+
+    def test_model_free_list_recycles_replicas(self):
+        pool = self._pool(population=8, max_resident=1)
+        for pid in range(8):
+            pool[pid]
+        # One replica plus the transient overshoot during materialization.
+        assert pool.counters["models_built"] <= 2
+        assert pool.counters["materialized"] == 8
+
+    def test_pinned_party_is_never_evicted(self):
+        pool = self._pool(population=8, max_resident=2)
+        pool.acquire(0)
+        for pid in (1, 2, 3):
+            pool[pid]
+        assert 0 in pool.resident_ids()
+        assert 0 in pool.pinned_ids()
+        assert 0 not in pool.eviction_log
+        pool.release(0)
+        pool[4]
+        assert 0 not in pool.resident_ids()  # evictable again after release
+
+    def test_release_without_pin_raises(self):
+        pool = self._pool(population=4)
+        with pytest.raises(ValueError, match="not pinned"):
+            pool.release(0)
+
+    def test_all_pinned_overshoots_instead_of_corrupting(self):
+        pool = self._pool(population=8, max_resident=1)
+        pool.acquire(0)
+        pool.acquire(1)
+        assert set(pool.resident_ids()) == {0, 1}
+        assert pool.eviction_log == []
+        pool.release(1)
+        pool.release(0)
+        assert len(pool.resident_ids()) == 1
+
+    def test_eviction_releases_party_data(self):
+        pool = self._pool(population=4, max_resident=1)
+        first = pool[0]
+        pool[1]
+        assert 0 in pool.eviction_log
+        with pytest.raises(RuntimeError, match="released"):
+            first.data
+
+    def test_survey_ids_default_and_capped(self):
+        assert self._pool(population=6).survey_ids() == tuple(range(6))
+        capped = self._pool(population=1000, survey=16)
+        ids = capped.survey_ids()
+        assert len(ids) == 16 and ids == tuple(sorted(ids))
+        assert capped.survey_ids() is ids  # cached
+        # Same seed -> same survey subset.
+        assert self._pool(population=1000, survey=16).survey_ids() == ids
+
+    def test_summary_counters(self):
+        pool = self._pool(population=8, max_resident=2)
+        for pid in (0, 1, 0, 2):
+            pool[pid]
+        s = pool.summary()
+        assert s["population"] == 8 and s["max_resident"] == 2
+        assert s["materialized"] == 3 and s["resident_hits"] == 1
+        assert s["evictions"] == 1 and s["peak_resident"] <= 3
+
+    def test_from_config(self):
+        spec = make_tiny_spec(name="unit_pool_cfg", num_parties=4,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=31)
+        cfg = PopulationConfig(size=50, max_resident=3, skew="zipf",
+                               zipf_a=1.4, survey=10)
+        pool = PartyPool.from_config(spec, None, cfg, seed=5)
+        assert pool.population == 50 and pool.max_resident == 3
+        assert pool.sampler.skew == "zipf" and pool.sampler.zipf_a == 1.4
+        assert pool.survey == 10 and pool.seed == 5
+
+
+class TestVirtualPartyWindow:
+    def test_delegates_inside_eager_range(self):
+        spec = make_tiny_spec(name="unit_vwin", num_parties=4, num_windows=2,
+                              window_regimes=(("fog", 4),), seed=41)
+        ds = FederatedShiftDataset(spec)
+        eager = ds.party_window(2, 0)
+        virtual = ds.virtual_party_window(2, 0)
+        assert virtual.party_id == eager.party_id
+        np.testing.assert_array_equal(virtual.x_train, eager.x_train)
+        np.testing.assert_array_equal(virtual.y_test, eager.y_test)
+
+    def test_virtual_ids_follow_their_shards_schedule(self):
+        spec = make_tiny_spec(name="unit_vwin2", num_parties=4, num_windows=2,
+                              window_regimes=(("fog", 4),), seed=41)
+        ds = FederatedShiftDataset(spec)
+        a = ds.virtual_party_window(6, 1)   # shard 2
+        b = ds.virtual_party_window(6, 1)
+        assert a.party_id == 6 and a.window == 1
+        np.testing.assert_array_equal(a.x_train, b.x_train)  # pure replay
+        # Different virtual parties on the same shard still draw distinct data.
+        other = ds.virtual_party_window(10, 1)  # also shard 2
+        assert not np.array_equal(a.x_train, other.x_train)
+
+    def test_validation(self):
+        spec = make_tiny_spec(name="unit_vwin3", num_parties=4, num_windows=2,
+                              window_regimes=(("fog", 4),), seed=41)
+        ds = FederatedShiftDataset(spec)
+        with pytest.raises(ValueError):
+            ds.virtual_party_window(-1, 0)
+        with pytest.raises(ValueError):
+            ds.virtual_party_window(6, 99)
+
+
+class TestPartyErrorPaths:
+    def _party(self, population=None) -> Party:
+        spec = make_tiny_spec(name="unit_party_err", num_parties=2,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=51)
+        model = build_model(spec.model_name, spec.input_shape,
+                            spec.num_classes, spawn_rng(0, "party-model", 0))
+        return Party(0, model, spec.num_classes, seed=0,
+                     population=population)
+
+    def test_wrong_party_data_names_window_and_population(self):
+        spec = make_tiny_spec(name="unit_party_err", num_parties=2,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=51)
+        ds = FederatedShiftDataset(spec)
+        party = self._party(population=1000)
+        with pytest.raises(ValueError) as err:
+            party.set_window_data(ds.party_window(1, 0))
+        msg = str(err.value)
+        assert "window 0" in msg and "party 1" in msg
+        assert "party 0 (population 1000)" in msg
+
+    def test_missing_data_error_mentions_release(self):
+        spec = make_tiny_spec(name="unit_party_err", num_parties=2,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=51)
+        ds = FederatedShiftDataset(spec)
+        party = self._party()
+        with pytest.raises(RuntimeError, match="no window data yet"):
+            party.data
+        party.set_window_data(ds.party_window(0, 1))
+        party.release()
+        with pytest.raises(RuntimeError,
+                           match=r"window 1 data was released"):
+            party.data
+
+
+class TestAvailabilityAtScale:
+    CFG = AvailabilityConfig(outage_prob=0.5, outage_fraction=0.3,
+                             outage_rounds=2)
+
+    def test_counter_draws_pin_enumeration_regime(self):
+        """Small populations keep the exact historical enumeration bits."""
+        sim = AvailabilitySimulator(self.CFG, seed=9, num_parties=40)
+        assert sim.enumerates_outages
+        for tick in range(6):
+            members = sim.outage_parties(tick)
+            for pid in range(40):
+                assert sim.party_in_outage(pid, tick) == (pid in members)
+
+    def test_large_population_is_o_cohort(self):
+        sim = AvailabilitySimulator(self.CFG, seed=9, num_parties=1_000_000)
+        assert not sim.enumerates_outages
+        with pytest.raises(ValueError, match="party_in_outage"):
+            sim.outage_parties(0)
+        fates = sim.cohort_fates(list(range(0, 1_000_000, 20_000)), tick=3)
+        assert len(fates) == 50
+        # Same (party, tick) query always agrees with itself.
+        again = sim.cohort_fates(list(range(0, 1_000_000, 20_000)), tick=3)
+        assert fates == again
+
+    def test_large_population_outage_rate_tracks_fraction(self):
+        sim = AvailabilitySimulator(
+            AvailabilityConfig(outage_prob=1.0, outage_fraction=0.3,
+                               outage_rounds=1),
+            seed=2, num_parties=100_000)
+        hits = sum(sim.party_in_outage(pid, 0) for pid in range(2000))
+        assert 0.2 < hits / 2000 < 0.4
+
+    def test_enumeration_limit_boundary(self):
+        at = AvailabilitySimulator(self.CFG, seed=1, num_parties=4096)
+        over = AvailabilitySimulator(self.CFG, seed=1, num_parties=4097)
+        assert at.enumerates_outages and not over.enumerates_outages
+
+
+def _diff_spec():
+    return make_tiny_spec(name="unit_pool_diff", num_parties=6,
+                          num_windows=2, window_regimes=(("fog", 4),),
+                          seed=17)
+
+
+class TestPooledRunsAreBitwise:
+    """population == num_parties with an unbounded pool == the eager path."""
+
+    def test_fedavg_pooled_matches_eager(self):
+        spec = _diff_spec()
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings()
+        eager = run_strategy(build_strategy("fedavg"), spec, base, seed=0,
+                             dataset=ds)
+        pooled = run_strategy(build_strategy("fedavg"), spec,
+                              _pooled_settings(base, spec.num_parties),
+                              seed=0, dataset=ds)
+        assert _canonical(pooled, pooled=True) == _canonical(eager)
+        summary = pooled.extras["party_pool"]
+        assert summary["evictions"] == 0
+        assert summary["population"] == spec.num_parties
+
+    def test_fedavg_bounded_pool_still_bitwise(self):
+        """LRU eviction + model recycling must be invisible in the bits."""
+        spec = _diff_spec()
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings()
+        eager = run_strategy(build_strategy("fedavg"), spec, base, seed=0,
+                             dataset=ds)
+        pooled = run_strategy(build_strategy("fedavg"), spec,
+                              _pooled_settings(base, spec.num_parties,
+                                               max_resident=2),
+                              seed=0, dataset=ds)
+        assert _canonical(pooled, pooled=True) == _canonical(eager)
+        summary = pooled.extras["party_pool"]
+        assert summary["evictions"] > 0
+        assert summary["models_built"] <= 3
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("method", sorted(strategy_names()))
+    def test_every_strategy_pooled_matches_eager(self, method):
+        spec = _diff_spec()
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings()
+        eager = run_strategy(build_strategy(method), spec, base, seed=0,
+                             dataset=ds)
+        pooled = run_strategy(build_strategy(method), spec,
+                              _pooled_settings(base, spec.num_parties),
+                              seed=0, dataset=ds)
+        assert _canonical(pooled, pooled=True) == _canonical(eager)
+
+    @pytest.mark.slow
+    @given(seed=st.integers(0, 2**16),
+           max_resident=st.sampled_from([None, 2, 3, 6]))
+    @settings(max_examples=8, deadline=None)
+    def test_pool_bound_invariance_over_seeds(self, seed, max_resident):
+        """Hypothesis sweep: no seed or bound can make the pool visible."""
+        spec = _diff_spec()
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings(rounds_burn_in=2, rounds_per_window=1)
+        eager = run_strategy(build_strategy("fedavg"), spec, base, seed=seed,
+                             dataset=ds)
+        pooled = run_strategy(build_strategy("fedavg"), spec,
+                              _pooled_settings(base, spec.num_parties,
+                                               max_resident=max_resident),
+                              seed=seed, dataset=ds)
+        assert _canonical(pooled, pooled=True) == _canonical(eager)
+
+
+class TestPopulationScaleRuns:
+    def test_population_beyond_eager_parties_runs_flat(self):
+        spec = _diff_spec()
+        ds = FederatedShiftDataset(spec)
+        settings_ = _pooled_settings(make_run_settings(rounds_burn_in=2,
+                                                       rounds_per_window=1),
+                                     {"size": 5000, "max_resident": 8})
+        result = run_strategy(build_strategy("fedavg"), spec, settings_,
+                              seed=0, dataset=ds)
+        summary = result.extras["party_pool"]
+        assert summary["population"] == 5000
+        assert summary["peak_resident"] <= 8 + settings_.round_config.participants_per_round
+        assert summary["models_built"] <= summary["peak_resident"]
+        assert len(result.window_series) == spec.num_windows
+
+    def test_straggler_pinned_row_survives_party_eviction(self):
+        """An async straggler's buffered report outlives its party's state.
+
+        Bank rows belong to the AsyncRoundBuffer, not the pool: evicting a
+        party between its dispatch and its late arrival must not perturb the
+        aggregate the report finally joins.
+        """
+        from repro.federation.async_engine import FederationConfig
+
+        spec = _diff_spec()
+        ds = FederatedShiftDataset(spec)
+        base = dataclasses.replace(
+            make_run_settings(rounds_burn_in=3, rounds_per_window=2),
+            federation=FederationConfig(
+                mode="async",
+                availability=AvailabilityConfig(straggler_prob=0.6)))
+        eager = run_strategy(build_strategy("fedavg"), spec, base, seed=3,
+                             dataset=ds)
+        assert eager.extras["federation"]["delayed"] > 0
+        pooled = run_strategy(build_strategy("fedavg"), spec,
+                              _pooled_settings(base, spec.num_parties,
+                                               max_resident=2),
+                              seed=3, dataset=ds)
+        assert _canonical(pooled, pooled=True) == _canonical(eager)
+        assert pooled.extras["party_pool"]["evictions"] > 0
+
+
+class TestStrategyContextPoolSurface:
+    def test_sample_cohort_dict_path_matches_historic_draw(self):
+        spec = _diff_spec()
+        ds = FederatedShiftDataset(spec)
+        from tests.conftest import make_context
+        ctx = make_context(spec, ds)
+        rng_a = spawn_rng(0, "select", "fedavg", 0, 0)
+        rng_b = spawn_rng(0, "select", "fedavg", 0, 0)
+        got = ctx.sample_cohort(rng_a)
+        k = min(ctx.round_config.participants_per_round, len(ctx.parties))
+        expected = [int(p) for p in
+                    rng_b.choice(sorted(ctx.parties), size=k, replace=False)]
+        assert got == expected
+
+    def test_party_ids_uses_pool_survey(self):
+        spec = make_tiny_spec(name="unit_ctx_pool", num_parties=4,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=61)
+        pool = PartyPool(spec, FederatedShiftDataset(spec), population=200,
+                         seed=0, survey=10)
+        ctx = StrategyContext(spec=spec, parties=pool,
+                              model_factory=lambda: None,
+                              round_config=make_run_settings().round_config,
+                              seed=0)
+        assert ctx.party_ids == pool.survey_ids()
+        assert len(ctx.party_ids) == 10
+        assert ctx.population == 200
+
+
+class TestPlanPopulationSerialization:
+    def test_population_round_trips_through_plan_dict(self):
+        plan = ExperimentPlan.build(
+            "femnist_sim", ["fedavg"], seeds=[0], profile="ci",
+            population={"size": 1000, "max_resident": 16, "skew": "zipf"},
+            cohort_size=4)
+        data = plan.to_dict()
+        assert data["population"] == {"size": 1000, "max_resident": 16,
+                                      "skew": "zipf", "zipf_a": 1.2,
+                                      "survey": None}
+        assert data["cohort_size"] == 4
+        restored = ExperimentPlan.from_dict(data)
+        assert restored.population == plan.population
+        assert restored.cohort_size == 4
+        _, settings_ = restored.resolve()
+        assert settings_.population == plan.population
+        assert settings_.round_config.participants_per_round == 4
+
+    def test_resolve_without_population_is_unchanged(self):
+        plan = ExperimentPlan.build("femnist_sim", ["fedavg"], seeds=[0],
+                                    profile="ci")
+        data = plan.to_dict()
+        assert "population" not in data and "cohort_size" not in data
+        _, settings_ = plan.resolve()
+        assert settings_.population is None
+
+    def test_cohort_size_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentPlan.build("femnist_sim", ["fedavg"], seeds=[0],
+                                 profile="ci", cohort_size=0)
+
+
+assert set(PARTICIPATION_SKEWS) == {"uniform", "zipf"}

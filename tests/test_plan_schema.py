@@ -17,6 +17,7 @@ from repro.data.registry import get_dataset_spec
 from repro.experiments.plan import ExperimentPlan, load_plan, save_plan
 from repro.federation.async_engine import FederationConfig
 from repro.federation.availability import AvailabilityConfig
+from repro.federation.pool import PopulationConfig
 from repro.harness.profiles import RunSettings
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
@@ -41,6 +42,7 @@ def _full_plan() -> ExperimentPlan:
         rounds_burn_in=4, rounds_per_window=3, eval_parties=4,
         dtype="float32", shards=3, secure_aggregation=True,
         federation=FederationConfig(mode="async"),
+        population=PopulationConfig(size=500, max_resident=8),
         round_config=RoundConfig(
             participants_per_round=5,
             local=LocalTrainingConfig(epochs=2, batch_size=16, lr=0.1,
@@ -54,6 +56,9 @@ def _full_plan() -> ExperimentPlan:
         seeds=(0, 1, 2), profile="small", name="full-schema",
         dtype="float32", shards=2, secure_aggregation=True,
         federation=federation,
+        population=PopulationConfig(size=1000, max_resident=16, skew="zipf",
+                                    zipf_a=1.5, survey=64),
+        cohort_size=6,
         spec_override=spec_override, settings_override=settings_override)
 
 
@@ -94,6 +99,7 @@ class TestLosslessRoundTrip:
         plan = ExperimentPlan.build("fashion_mnist_sim", ["fedavg"])
         data = plan.to_dict()
         for key in ("dtype", "federation", "shards", "secure_aggregation",
+                    "population", "cohort_size",
                     "spec_override", "settings_override"):
             assert key not in data
         assert ExperimentPlan.from_dict(data) == plan
