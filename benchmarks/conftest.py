@@ -4,6 +4,12 @@ Each bench module regenerates one of the paper's tables/figures at simulator
 scale (`ci` profile by default; set ``REPRO_BENCH_PROFILE=small|paper`` for
 larger runs) and writes the rendered rows/series to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference them.
+
+The paper's trajectories are defined on the full-precision pipeline, so
+these comparisons pin ``float64`` regardless of the profile's precision
+default (`ci`/`small` now run float32 parameters); set
+``REPRO_BENCH_PRECISION=float32`` to regenerate the mixed-plane
+trajectory instead.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "ci")
 BENCH_SEEDS = tuple(
     int(s) for s in os.environ.get("REPRO_BENCH_SEEDS", "0").split(",")
 )
+BENCH_PRECISION = os.environ.get("REPRO_BENCH_PRECISION", "float64")
 
 
 def write_artifact(name: str, content: str) -> Path:
@@ -43,7 +50,7 @@ def run_dataset_comparison(dataset: str,
                            ) -> ComparisonResult:
     strategies = default_strategies() if methods is None else default_strategies(methods)
     return run_comparison(dataset, strategies, profile=BENCH_PROFILE,
-                          seeds=BENCH_SEEDS)
+                          seeds=BENCH_SEEDS, precision=BENCH_PRECISION)
 
 
 def render_figure_series(result: ComparisonResult, figure_label: str) -> str:

@@ -8,11 +8,19 @@ asserting the qualitative dynamics the paper describes for each dataset.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH_PROFILE, BENCH_SEEDS, write_artifact
+import dataclasses
+
+from benchmarks.conftest import (
+    BENCH_PRECISION,
+    BENCH_PROFILE,
+    BENCH_SEEDS,
+    write_artifact,
+)
 from repro.core import ShiftExStrategy
 from repro.harness.comparison import render_expert_distribution
 from repro.harness.profiles import get_profile
 from repro.harness.runner import run_strategy
+from repro.utils.precision import PrecisionPlan
 
 DATASETS = ("fmow_sim", "tiny_imagenet_c_sim", "cifar10_c_sim",
             "femnist_sim", "fashion_mnist_sim")
@@ -29,6 +37,11 @@ def run_all():
     histories = {}
     for dataset in DATASETS:
         spec, settings = get_profile(BENCH_PROFILE, dataset)
+        # Paper-reproduction artifacts pin the paper's precision plane
+        # (see benchmarks/conftest.py), whatever the profile default.
+        settings = dataclasses.replace(
+            settings, precision=PrecisionPlan.from_value(BENCH_PRECISION),
+            dtype=None)
         result = run_strategy(ShiftExStrategy(), spec, settings,
                               seed=BENCH_SEEDS[0])
         histories[dataset] = result.expert_history

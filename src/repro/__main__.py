@@ -232,6 +232,7 @@ def cmd_compare(args) -> int:
         population = _population_from_args(args)
         plan = ExperimentPlan.build(args.dataset, methods, seeds=seeds,
                                     profile=args.profile, dtype=args.dtype,
+                                    precision=args.precision,
                                     federation=federation, shards=args.shards,
                                     secure_aggregation=(True if args.secure_agg
                                                         else None),
@@ -308,8 +309,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--seeds", nargs="*", type=int, default=[0])
     p_compare.add_argument("--dtype", default=None,
                            choices=("float32", "float64"),
-                           help="model precision (default: the profile's, "
-                                "float64; float32 is ~2x faster)")
+                           help="model precision (default: the profile's; "
+                                "float32 is ~2x faster).  Shorthand for "
+                                "--precision params=DTYPE: detection "
+                                "statistics stay on the float64 island")
+    p_compare.add_argument("--precision", default=None, metavar="SPEC",
+                           help="per-subsystem precision plan, e.g. "
+                                "'params=float32,detection_stats=float64' "
+                                "(a bare dtype sets params only); thresholds "
+                                "come from the committed table for the "
+                                "parameter precision")
     p_compare.add_argument("--shards", type=int, default=None, metavar="N",
                            help="split parameter banks across N shared-"
                                 "memory shards so aggregation and expert "

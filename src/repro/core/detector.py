@@ -65,6 +65,7 @@ def compute_party_report(party: Party, encoder_params: Params,
                          prev_state: PartyLocalState | None,
                          gamma: float | None = None,
                          max_samples: int = 48,
+                         stat_dtype: np.dtype | str | None = None,
                          ) -> tuple[PartyShiftReport, PartyLocalState]:
     """Run Algorithm 1 for one party.
 
@@ -72,10 +73,20 @@ def compute_party_report(party: Party, encoder_params: Params,
     (current embeddings/labels/histogram, retained for the next window's
     deltas).  When ``prev_state`` is absent (first window) both deltas are
     zero, as in the algorithm.
+
+    ``stat_dtype`` is the detection island's dtype (the run's
+    ``precision.detection_stats``): embeddings are cast to it here, at the
+    reporting boundary, so every downstream statistic — MMD deltas,
+    clustering, latent-memory matching — runs at that precision regardless
+    of the model plane's dtype.  ``None`` keeps the encoder's dtype; a
+    float64 cast of float64 embeddings is a no-op, which is what keeps the
+    legacy all-float64 plane bitwise unchanged.
     """
     embeddings, labels = party.embeddings_with_labels(
         encoder_params, split="train", max_samples=max_samples
     )
+    if stat_dtype is not None:
+        embeddings = np.asarray(embeddings, dtype=stat_dtype)
     histogram = party.label_histogram()
     if prev_state is not None:
         delta_cov = class_conditional_mmd(

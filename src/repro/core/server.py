@@ -68,6 +68,9 @@ class ShiftExStrategy(ContinualStrategy):
         self._bootstrap_snapshot: Params | None = None
         self.thresholds: CalibratedThresholds | None = None
         self._epsilon: float | None = self.config.epsilon
+        # Resolved in setup() against the run's threshold table.
+        self._tau: float | None = self.config.tau
+        self._epsilon_scale: float | None = self.config.epsilon_scale
         self._party_state: dict[int, PartyLocalState] = {}
         self._bootstrap_flips: FlipsSelector | None = None
         self._cohort_flips: dict[int, FlipsSelector] = {}
@@ -79,6 +82,15 @@ class ShiftExStrategy(ContinualStrategy):
 
     def setup(self, ctx: StrategyContext) -> None:
         super().setup(ctx)
+        # Knobs left at None resolve against the run precision's committed
+        # threshold table (the float64 table carries the historical values,
+        # so the legacy plane is unchanged); explicit config values win.
+        self._tau = (self.config.tau if self.config.tau is not None
+                     else ctx.threshold("shiftex.tau", 0.99))
+        self._epsilon_scale = (
+            self.config.epsilon_scale
+            if self.config.epsilon_scale is not None
+            else ctx.threshold("shiftex.epsilon_scale", 1.25))
         # Bind the run's sharding before the first expert creates the pool
         # bank; with the default single-shard plan this is a no-op.
         self.registry.shard_plan = ctx.shard_plan
@@ -112,6 +124,7 @@ class ShiftExStrategy(ContinualStrategy):
                     self._party_state.get(pid),
                     gamma=gamma,
                     max_samples=self.config.embedding_samples,
+                    stat_dtype=ctx.precision.np_detection_stats,
                 )
                 reports[pid] = report
                 self._party_state[pid] = state
@@ -188,7 +201,7 @@ class ShiftExStrategy(ContinualStrategy):
         if self.config.enable_consolidation and len(self.registry) >= 2:
             with ctx.profiler.phase("consolidation"):
                 events = consolidate_experts(
-                    self.registry, self.config.tau, window,
+                    self.registry, self._tau, window,
                     ctx.rng("consolidate", window), self.assignments,
                     memory_epsilon=self._epsilon,
                     gamma=self.thresholds.gamma if self.thresholds else None,
@@ -453,11 +466,17 @@ class ShiftExStrategy(ContinualStrategy):
         self._encoder = expert0.clone_params()
         self._bootstrap_snapshot = expert0.clone_params()
         # First snapshot of party-side state (no reports exist for W0).
+        # Embeddings enter the detection island here: cast to the precision
+        # plan's detection_stats dtype (a no-op on the float64 legacy plane)
+        # so calibration nulls, memories and every later delta are computed
+        # at island precision.
+        stat_dtype = ctx.precision.np_detection_stats
         for pid, party in ctx.iter_parties():
             embeddings, labels = party.embeddings_with_labels(
                 self._encoder, split="train",
                 max_samples=self.config.embedding_samples,
             )
+            embeddings = np.asarray(embeddings, dtype=stat_dtype)
             self._party_state[pid] = PartyLocalState(
                 embeddings=embeddings,
                 labels=labels,
@@ -499,7 +518,7 @@ class ShiftExStrategy(ContinualStrategy):
             # Matching is class-conditional, so the reuse threshold shares
             # the detection statistic's null scale (delta_cov), widened by
             # epsilon_scale to tolerate latent-memory staleness.
-            self._epsilon = calibrated.delta_cov * self.config.epsilon_scale
+            self._epsilon = calibrated.delta_cov * self._epsilon_scale
 
     # -------------------------------------------------- inference & reporting
 

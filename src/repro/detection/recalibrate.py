@@ -1,0 +1,284 @@
+"""Re-derive detection/matching thresholds for a target precision.
+
+    python -m repro.detection.recalibrate --precision float32
+
+The seed reproduction's fixed thresholds (``BASE_THRESHOLDS`` in
+:mod:`repro.detection.thresholds`) were tuned on the all-float64 plane.
+Changing the parameter dtype moves every statistic those thresholds gate —
+encoder embeddings shift by rounding, parameter cosines lose mantissa,
+losses move by accumulation order — so instead of freezing float64 forever,
+this tool *measures* how far each underlying statistic moves on seeded
+calibration workloads and widens the threshold by a documented margin.
+
+Margin rule
+-----------
+For every threshold key, the tool computes the statistic the threshold is
+compared against on both planes — once at float64, once with models built
+at the target precision — over every ``(dataset, seed)`` calibration
+workload, and takes the maximum observed discrepancy ``d``:
+
+* additive thresholds (``fielding.recluster_jsd``, ``feddrift.delta``,
+  ``shiftex.tau``): ``value = base ± margin_factor * d``, signed in the
+  *permissive* direction (JSD/loss bars move up so rounding never flags a
+  spurious shift; the cosine floor moves down so rounding never blocks a
+  merge the float64 plane would have made);
+* scale thresholds (``shiftex.epsilon_scale``, ``drift_monitor.severity``):
+  ``value = base * (1 + margin_factor * d_rel)`` with ``d_rel`` the relative
+  discrepancy of the MMD statistic they scale.
+
+``margin_factor`` defaults to 4: the margin covers four times the worst
+discrepancy actually observed, which is generous against workload-to-run
+variation yet tiny in absolute terms (float32 rounding moves these
+statistics by ~1e-7..1e-4), so the recalibrated table reproduces the seed's
+detection *decisions* — pinned by ``tests/test_precision_recalibration.py``.
+
+Recalibrating *at* float64 measures zero discrepancy everywhere and emits
+the historical values unchanged — that identity is the float64 table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data.federated import FederatedShiftDataset
+from repro.detection.divergence import jsd
+from repro.detection.mmd import class_conditional_mmd, median_heuristic_gamma
+from repro.detection.thresholds import (BASE_THRESHOLDS, ThresholdTable,
+                                        load_threshold_table,
+                                        save_threshold_table, table_path)
+from repro.federation.party import Party
+from repro.harness.profiles import get_profile
+from repro.nn.models import build_model
+from repro.utils.params import flatten_params, resolve_dtype
+from repro.utils.precision import PrecisionPlan
+from repro.utils.rng import spawn_rng
+
+TABLE_VERSION = 1
+DEFAULT_MARGIN_FACTOR = 4.0
+CALIBRATION_DATASETS = ("fashion_mnist_sim", "cifar10_c_sim")
+CALIBRATION_SEEDS = (0, 1)
+_PARTIES_PER_WORKLOAD = 4
+_TINY = 1e-12
+
+
+def _embedding_planes(spec, ds, seed: int, params_dtype: np.dtype):
+    """One workload's statistics on the float64 vs target-precision plane.
+
+    Builds the same seeded model at both dtypes, binds the same real party
+    windows, and returns per-party ``(embeddings, labels, histogram, loss)``
+    for each plane — the raw material every threshold statistic is computed
+    from.  Detection statistics downstream are float64 either way (the
+    island); the discrepancy measured here is exactly what a mixed
+    ``params=float32, detection_stats=float64`` run feeds the detectors.
+    """
+    rng = spawn_rng(seed, "recalibrate-parties", spec.name)
+    pids = sorted(int(p) for p in rng.choice(
+        spec.num_parties, size=min(_PARTIES_PER_WORKLOAD, spec.num_parties),
+        replace=False))
+    planes = {}
+    for dtype in dict.fromkeys((np.dtype(np.float64), params_dtype)):
+        model = build_model(spec.model_name, spec.input_shape,
+                            spec.num_classes,
+                            spawn_rng(seed, "recalibrate-model", spec.name),
+                            dtype=dtype)
+        encoder = model.get_params()
+        stats = []
+        for pid in pids:
+            party = Party(pid, model, spec.num_classes, seed=seed)
+            party.set_window_data(ds.party_window(pid, 0))
+            emb, labels = party.embeddings_with_labels(
+                encoder, split="train", max_samples=48)
+            stats.append((np.asarray(emb, dtype=np.float64), labels,
+                          party.label_histogram(),
+                          float(party.loss_on(encoder, split="train"))))
+            party.release()
+        planes[str(dtype)] = stats
+    return planes
+
+
+def _param_cosines(spec, seed: int, dtype: np.dtype,
+                   n_vectors: int = 6) -> np.ndarray:
+    """Off-diagonal cosines of near-parallel model parameter vectors.
+
+    Experts are clones of the bootstrap model plus training deltas, so
+    consolidation compares vectors with cosine near ``tau`` ~ 0.99; small
+    seeded perturbations of one init reproduce that regime.  Computed
+    entirely at ``dtype`` — the consolidation Gram runs on the parameter
+    plane, not the detection island.
+    """
+    model = build_model(spec.model_name, spec.input_shape, spec.num_classes,
+                        spawn_rng(seed, "recalibrate-model", spec.name),
+                        dtype=dtype)
+    base = flatten_params(model.get_params()).astype(dtype, copy=False)
+    rng = spawn_rng(seed, "recalibrate-perturb", spec.name)
+    scale = 0.05 * float(np.linalg.norm(base.astype(np.float64))) \
+        / max(1.0, np.sqrt(base.size))
+    rows = np.stack([
+        base + np.asarray(rng.normal(0.0, scale, size=base.size), dtype=dtype)
+        for _ in range(n_vectors)])
+    normed = rows / np.linalg.norm(rows, axis=1, keepdims=True)
+    sims = normed @ normed.T
+    return sims[~np.eye(n_vectors, dtype=bool)].astype(np.float64)
+
+
+def measure_discrepancies(precision: PrecisionPlan,
+                          datasets=CALIBRATION_DATASETS,
+                          seeds=CALIBRATION_SEEDS) -> dict:
+    """Max per-statistic discrepancy between float64 and the target plane."""
+    params_dtype = precision.np_params
+    out = {"cosine": 0.0, "mmd_abs": 0.0, "mmd_rel": 0.0,
+           "jsd": 0.0, "loss": 0.0}
+    workloads = []
+    for dataset in datasets:
+        spec, _settings = get_profile("ci", dataset)
+        ds = FederatedShiftDataset(spec)
+        for seed in seeds:
+            workloads.append(f"{dataset}:ci:seed{seed}")
+            cos64 = _param_cosines(spec, seed, np.dtype(np.float64))
+            cos32 = _param_cosines(spec, seed, params_dtype)
+            out["cosine"] = max(out["cosine"],
+                                float(np.abs(cos64 - cos32).max()))
+            planes = _embedding_planes(spec, ds, seed, params_dtype)
+            ref = planes["float64"]
+            tgt = planes[str(params_dtype)]
+            for i in range(len(ref)):
+                for j in range(i + 1, len(ref)):
+                    e_i64, l_i64 = ref[i][0], ref[i][1]
+                    e_j64, l_j64 = ref[j][0], ref[j][1]
+                    gamma = median_heuristic_gamma(e_i64, e_j64)
+                    m64 = class_conditional_mmd(e_i64, l_i64, e_j64, l_j64,
+                                                gamma)
+                    m32 = class_conditional_mmd(tgt[i][0], tgt[i][1],
+                                                tgt[j][0], tgt[j][1], gamma)
+                    d = abs(float(m64) - float(m32))
+                    out["mmd_abs"] = max(out["mmd_abs"], d)
+                    out["mmd_rel"] = max(out["mmd_rel"],
+                                         d / max(abs(float(m64)), _TINY))
+                    out["jsd"] = max(out["jsd"], abs(
+                        float(jsd(ref[i][2], ref[j][2]))
+                        - float(jsd(tgt[i][2], tgt[j][2]))))
+            for r, t in zip(ref, tgt):
+                out["loss"] = max(out["loss"], abs(r[3] - t[3]))
+    out["workloads"] = tuple(workloads)
+    return out
+
+
+def recalibrate(precision, margin_factor: float = DEFAULT_MARGIN_FACTOR,
+                datasets=CALIBRATION_DATASETS,
+                seeds=CALIBRATION_SEEDS) -> ThresholdTable:
+    """Measure discrepancies and apply the margin rule (module docstring)."""
+    precision = PrecisionPlan.from_value(precision)
+    d = measure_discrepancies(precision, datasets=datasets, seeds=seeds)
+
+    def entry(key: str, statistic: str, discrepancy: float, direction: str,
+              relative: bool) -> dict:
+        base = BASE_THRESHOLDS[key]
+        margin = margin_factor * discrepancy * (base if relative else 1.0)
+        value = base + margin if direction == "up" else base - margin
+        return {
+            "value": float(value),
+            "base": float(base),
+            "margin": float(margin),
+            "statistic": statistic,
+            "statistic_discrepancy": float(discrepancy),
+            "direction": direction,
+        }
+
+    thresholds = {
+        "shiftex.tau": entry(
+            "shiftex.tau", "pairwise parameter cosine", d["cosine"],
+            "down", relative=False),
+        "shiftex.epsilon_scale": entry(
+            "shiftex.epsilon_scale", "class-conditional MMD (relative)",
+            d["mmd_rel"], "up", relative=True),
+        "fielding.recluster_jsd": entry(
+            "fielding.recluster_jsd", "label-histogram JSD", d["jsd"],
+            "up", relative=False),
+        "feddrift.delta": entry(
+            "feddrift.delta", "local train loss", d["loss"],
+            "up", relative=False),
+        "drift_monitor.severity": entry(
+            "drift_monitor.severity", "class-conditional MMD (relative)",
+            d["mmd_rel"], "up", relative=True),
+    }
+    reference = {
+        "statistic_discrepancies": {
+            k: float(v) for k, v in d.items() if k != "workloads"},
+        "margin_factor": float(margin_factor),
+        "calibration_seeds": list(seeds),
+    }
+    return ThresholdTable(
+        precision=precision.params,
+        version=TABLE_VERSION,
+        margin_rule=(f"value = base +/- {margin_factor:g} x max seeded-"
+                     f"workload statistic discrepancy (relative x base for "
+                     f"scale thresholds), signed permissively"),
+        thresholds=thresholds,
+        reference=reference,
+        workloads=tuple(d["workloads"]),
+    )
+
+
+def _print_table(table: ThresholdTable, stream=sys.stdout) -> None:
+    print(f"threshold table: precision={table.precision} "
+          f"version={table.version}", file=stream)
+    print(f"  workloads: {', '.join(table.workloads)}", file=stream)
+    width = max(len(k) for k in table.thresholds)
+    for key, e in sorted(table.thresholds.items()):
+        print(f"  {key:<{width}}  base={e['base']:<10.6g} "
+              f"value={e['value']:<12.8g} margin={e['margin']:.3g} "
+              f"({e['direction']}, {e['statistic']})", file=stream)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.detection.recalibrate",
+        description="re-derive detection thresholds for a target precision")
+    parser.add_argument("--precision", default="float32",
+                        help="target precision: a dtype or a "
+                             "'params=...,detection_stats=...' spec "
+                             "(default float32)")
+    parser.add_argument("--margin-factor", type=float,
+                        default=DEFAULT_MARGIN_FACTOR,
+                        help="margin widening factor over the worst "
+                             "observed discrepancy (default 4)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: the committed table "
+                             "location the profiles load)")
+    parser.add_argument("--check", action="store_true",
+                        help="recompute and compare against the committed "
+                             "table instead of writing; exit 1 on drift")
+    args = parser.parse_args(argv)
+    try:
+        precision = PrecisionPlan.from_value(args.precision)
+    except (ValueError, TypeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    table = recalibrate(precision, margin_factor=args.margin_factor)
+    _print_table(table)
+    if args.check:
+        committed = load_threshold_table(precision)
+        if committed is None:
+            print(f"no committed table at {table_path(precision)}",
+                  file=sys.stderr)
+            return 1
+        for key, e in table.thresholds.items():
+            have = committed.thresholds.get(key, {}).get("value")
+            if have is None or not np.isclose(have, e["value"],
+                                              rtol=1e-6, atol=1e-12):
+                print(f"drift: {key} committed={have} "
+                      f"recomputed={e['value']}", file=sys.stderr)
+                return 1
+        print("committed table matches")
+        return 0
+    out = args.out if args.out is not None else table_path(precision)
+    path = save_threshold_table(table, out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

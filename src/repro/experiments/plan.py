@@ -30,6 +30,7 @@ from repro.federation.pool import PopulationConfig
 from repro.federation.rounds import RoundConfig
 from repro.harness.profiles import RunSettings, get_profile
 from repro.nn.training import LocalTrainingConfig
+from repro.utils.precision import PrecisionPlan
 
 
 @dataclass
@@ -88,9 +89,13 @@ class ExperimentCell:
 class ExperimentPlan:
     """Declarative grid spec whose :meth:`run` produces a ComparisonResult.
 
-    ``dtype`` declares the run's model precision (``"float32"`` /
-    ``"float64"``) on top of whatever the profile settings say — precision
-    is part of the experiment spec and serializes with the plan.
+    ``precision`` declares the run's per-subsystem
+    :class:`~repro.utils.precision.PrecisionPlan` (parameter dtype plus the
+    detection-statistics island dtype) on top of whatever the profile
+    settings say — precision is part of the experiment spec and serializes
+    with the plan.  ``dtype`` is the legacy shorthand alias
+    (``"float32"`` means ``params=float32`` with detection statistics kept
+    float64); setting both to conflicting values is an error.
 
     ``federation`` likewise declares the participation regime (sync /
     buffered / async plus an availability scenario); it overrides the
@@ -128,6 +133,7 @@ class ExperimentPlan:
     settings_override: RunSettings | None = None
     name: str = ""
     dtype: str | None = None
+    precision: PrecisionPlan | None = None
     federation: FederationConfig | None = None
     shards: int | None = None
     secure_aggregation: bool | None = None
@@ -144,6 +150,13 @@ class ExperimentPlan:
         if self.dtype is not None:
             from repro.utils.params import resolve_dtype
             self.dtype = str(resolve_dtype(self.dtype))
+        if self.precision is not None:
+            self.precision = PrecisionPlan.from_value(self.precision)
+            if self.dtype is not None and self.dtype != self.precision.params:
+                raise ValueError(
+                    f"dtype={self.dtype!r} conflicts with precision "
+                    f"params={self.precision.params!r}; set one (dtype is "
+                    f"the shorthand alias for precision.params)")
         if self.shards is not None:
             self.shards = int(self.shards)
             if self.shards < 1:
@@ -170,6 +183,7 @@ class ExperimentPlan:
               profile: str = "ci", spec_override: DatasetSpec | None = None,
               settings_override: RunSettings | None = None,
               name: str = "", dtype: str | None = None,
+              precision: "PrecisionPlan | str | Mapping | None" = None,
               federation: FederationConfig | None = None,
               shards: int | None = None,
               secure_aggregation: bool | None = None,
@@ -199,7 +213,10 @@ class ExperimentPlan:
                    seeds=tuple(seeds), profile=profile,
                    spec_override=spec_override,
                    settings_override=settings_override, name=name,
-                   dtype=dtype, federation=federation, shards=shards,
+                   dtype=dtype,
+                   precision=(PrecisionPlan.from_value(precision)
+                              if precision is not None else None),
+                   federation=federation, shards=shards,
                    secure_aggregation=secure_aggregation,
                    population=population, cohort_size=cohort_size)
 
@@ -223,8 +240,16 @@ class ExperimentPlan:
                 spec = self.spec_override
             if self.settings_override is not None:
                 settings = self.settings_override
-        if self.dtype is not None and settings.dtype != self.dtype:
-            settings = dataclasses.replace(settings, dtype=self.dtype)
+        # dtype is the shorthand alias for precision.params; either knob
+        # replaces the profile's whole plan.  Both fields must move together
+        # through dataclasses.replace or the re-run __post_init__ would see
+        # the stale sibling and report a conflict.
+        plan_precision = self.precision
+        if plan_precision is None and self.dtype is not None:
+            plan_precision = PrecisionPlan.from_value(self.dtype)
+        if plan_precision is not None and settings.precision != plan_precision:
+            settings = dataclasses.replace(settings, precision=plan_precision,
+                                           dtype=None)
         if self.federation is not None and settings.federation != self.federation:
             settings = dataclasses.replace(settings, federation=self.federation)
         if self.shards is not None and settings.shards != self.shards:
@@ -275,6 +300,8 @@ class ExperimentPlan:
         }
         if self.dtype is not None:
             out["dtype"] = self.dtype
+        if self.precision is not None:
+            out["precision"] = self.precision.to_dict()
         if self.federation is not None:
             out["federation"] = self.federation.to_dict()
         if self.shards is not None:
@@ -316,6 +343,8 @@ class ExperimentPlan:
                                if settings_override is not None else None),
             name=data.get("name", ""),
             dtype=data.get("dtype"),
+            precision=(PrecisionPlan.from_value(data["precision"])
+                       if data.get("precision") is not None else None),
             federation=(FederationConfig.from_dict(data["federation"])
                         if data.get("federation") is not None else None),
             shards=data.get("shards"),

@@ -295,9 +295,17 @@ class PartyPool(Mapping):
     # ------------------------------------------------------------------ residency
 
     def _materialize(self, pid: int) -> Party:
-        if self._free_models:
-            model = self._free_models.pop()
-        else:
+        model = None
+        while self._free_models:
+            candidate = self._free_models.pop()
+            # A recycled model must match the pool's parameter precision: a
+            # float32 run resurrecting a float64 free-list model (or vice
+            # versa) would silently re-widen part of the population.  A
+            # mismatched model is dropped, never lent out again.
+            if self.dtype is None or candidate.dtype == self.dtype:
+                model = candidate
+                break
+        if model is None:
             model = build_model(self.spec.model_name, self.spec.input_shape,
                                 self.spec.num_classes,
                                 spawn_rng(self.seed, "party-model", pid),

@@ -30,10 +30,12 @@ from repro.federation.party import Party
 from repro.federation.rounds import RoundConfig
 from repro.nn.network import Sequential
 from repro.utils.params import Params
+from repro.utils.precision import PrecisionPlan
 from repro.utils.rng import spawn_rng
 from repro.utils.sharding import ShardPlan
 
 if TYPE_CHECKING:  # import cycle: async_engine -> rounds -> party only
+    from repro.detection.thresholds import ThresholdTable
     from repro.federation.async_engine import FederationEngine
 
 
@@ -56,6 +58,14 @@ class StrategyContext:
     aggregation is on (None = off, the default): strategies pass it as
     ``run_fl_round(secure=...)`` so every round they run — on any stream —
     seals its party updates in their bank rows.
+
+    ``precision`` is the run's :class:`~repro.utils.precision.PrecisionPlan`:
+    ``params`` the model/bank dtype, ``detection_stats`` the float64 island
+    dtype every detection statistic is computed at.  ``thresholds`` is the
+    committed :class:`~repro.detection.thresholds.ThresholdTable` for that
+    parameter precision (None when no table exists); strategies resolve
+    their ``None``-defaulted detection/matching knobs through
+    :meth:`threshold` so an explicitly configured value always wins.
     """
 
     spec: DatasetSpec
@@ -69,11 +79,25 @@ class StrategyContext:
     federation: "FederationEngine | None" = None
     shard_plan: ShardPlan = field(default_factory=ShardPlan)
     secure_aggregation: int | None = None
+    precision: PrecisionPlan = field(default_factory=PrecisionPlan)
+    thresholds: "ThresholdTable | None" = None
     _party_ids: "tuple[int, ...] | None" = field(default=None, init=False,
                                                  repr=False, compare=False)
 
     def rng(self, *labels: object) -> np.random.Generator:
         return spawn_rng(self.seed, *labels)
+
+    def threshold(self, key: str, default: float) -> float:
+        """Resolve a detection/matching threshold for this run's precision.
+
+        Returns the committed table's entry for ``key`` when a table is
+        loaded, else ``default`` (the historical float64-tuned value).
+        Strategies call this only for knobs the user left at ``None`` — an
+        explicit config value never reaches here.
+        """
+        if self.thresholds is None:
+            return float(default)
+        return self.thresholds.value(key, default)
 
     # ------------------------------------------------------------- population
 

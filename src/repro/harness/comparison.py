@@ -51,12 +51,19 @@ def run_comparison(dataset: str,
                    profile: str = "ci",
                    seeds: tuple[int, ...] = (0,),
                    settings_override=None,
-                   spec_override=None) -> ComparisonResult:
+                   spec_override=None,
+                   precision=None) -> ComparisonResult:
     """Run every strategy over every seed on one dataset (serially).
 
     Back-compat shim: builds an :class:`ExperimentPlan` and runs it with the
     default :class:`SerialExecutor`.  New code should construct a plan
     directly — that unlocks parallel execution and plan files.
+
+    ``precision`` overrides the profile's precision plan (a dtype string,
+    spec string, or :class:`~repro.utils.precision.PrecisionPlan`) — the
+    paper-reproduction benchmarks pin ``float64`` here so their artifacts
+    track the paper's full-precision pipeline regardless of profile
+    defaults.
     """
     # Imported here, not at module top: experiments.plan itself imports the
     # harness package while it initializes.
@@ -68,6 +75,7 @@ def run_comparison(dataset: str,
                  for name, factory in strategies.items()]
     plan = ExperimentPlan(dataset=dataset, strategies=tuple(specs),
                           seeds=tuple(seeds), profile=profile,
+                          precision=precision,
                           spec_override=spec_override,
                           settings_override=settings_override)
     return plan.run()

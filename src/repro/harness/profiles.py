@@ -12,6 +12,7 @@ from repro.federation.pool import PopulationConfig
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
 from repro.utils.params import resolve_dtype
+from repro.utils.precision import PrecisionPlan
 from repro.utils.sharding import ShardPlan
 
 _PROFILE_NAMES = ("ci", "small", "paper")
@@ -21,12 +22,21 @@ _PROFILE_NAMES = ("ci", "small", "paper")
 class RunSettings:
     """How many rounds/participants a run uses and how it evaluates.
 
-    ``dtype`` is the model parameter/activation precision every party and
-    expert uses for the run.  ``"float32"`` halves memory and roughly
-    doubles BLAS throughput; the default stays ``"float64"`` because the
-    seed reproduction's calibrated detection thresholds were tuned at full
-    precision (flip it per run/plan via the declarative knob once thresholds
-    are recalibrated).
+    ``precision`` is the run's :class:`~repro.utils.precision.PrecisionPlan`:
+    ``params`` names the model parameter/transport/aggregation dtype,
+    ``detection_stats`` the dtype of the float64 detection island every
+    party embedding is cast to at the Algorithm-1 reporting boundary.
+    ``params="float32"`` halves memory and roughly doubles BLAS throughput;
+    the ``ci``/``small`` profiles default to it because the recalibrated
+    float32 threshold table (see :mod:`repro.detection.recalibrate`)
+    reproduces the seed's detection decisions.  Direct construction
+    defaults to all-float64 — the bitwise legacy plane.
+
+    ``dtype`` survives as a shorthand alias for ``precision``:
+    ``dtype="float32"`` means ``PrecisionPlan(params="float32")`` with
+    detection statistics still float64.  Setting both to conflicting
+    values is an error; after construction ``dtype`` always mirrors
+    ``precision.params``.
 
     ``federation`` selects the participation regime: synchronous full-cohort
     rounds (the default, engine-less fast path) or ``buffered``/``async``
@@ -66,7 +76,8 @@ class RunSettings:
     rounds_per_window: int = 6
     round_config: RoundConfig = field(default_factory=RoundConfig)
     eval_parties: int | None = None  # None = evaluate every party
-    dtype: str = "float64"
+    dtype: str | None = None  # alias for precision.params; None = unset
+    precision: PrecisionPlan | None = None
     federation: FederationConfig = field(default_factory=FederationConfig)
     shards: int = 1
     shard_backend: str = "auto"
@@ -79,7 +90,18 @@ class RunSettings:
         if self.eval_parties is not None and self.eval_parties <= 0:
             raise ValueError("eval_parties must be positive when given")
         self.shard_plan  # validates shards >= 1 and the backend name
-        self.dtype = str(resolve_dtype(self.dtype))
+        plan = PrecisionPlan.from_value(self.precision)
+        if self.dtype is not None:
+            alias = str(resolve_dtype(self.dtype))
+            if self.precision is None:
+                plan = PrecisionPlan.from_value(alias)
+            elif alias != plan.params:
+                raise ValueError(
+                    f"dtype={alias!r} conflicts with precision "
+                    f"params={plan.params!r}; set one (dtype is the "
+                    f"shorthand alias for precision.params)")
+        self.precision = plan
+        self.dtype = plan.params
         self.secure_aggregation = bool(self.secure_aggregation)
         if not isinstance(self.federation, FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
@@ -87,7 +109,7 @@ class RunSettings:
 
     @property
     def np_dtype(self) -> np.dtype:
-        return resolve_dtype(self.dtype)
+        return self.precision.np_params
 
     @property
     def shard_plan(self) -> ShardPlan:
@@ -120,6 +142,10 @@ def get_profile(profile: str, dataset: str) -> tuple[DatasetSpec, RunSettings]:
     * ``small`` — minutes-scale: more parties/rounds, sharper separation
       between methods.
     * ``paper`` — the paper's party counts (50/200) with laptop-sized rounds.
+
+    ``ci`` and ``small`` run the float32 parameter plane (detection
+    statistics stay float64 and thresholds come from the recalibrated
+    float32 table); ``paper`` keeps the all-float64 legacy plane.
     """
     spec = get_dataset_spec(dataset)
     if profile == "ci":
@@ -132,6 +158,7 @@ def get_profile(profile: str, dataset: str) -> tuple[DatasetSpec, RunSettings]:
             round_config=RoundConfig(participants_per_round=8,
                                      local=_local(epochs=3)),
             eval_parties=None,
+            precision=PrecisionPlan(params="float32"),
         )
     elif profile == "small":
         parties = 24 if spec.num_parties <= 50 else 48
@@ -142,6 +169,7 @@ def get_profile(profile: str, dataset: str) -> tuple[DatasetSpec, RunSettings]:
             rounds_per_window=8,
             round_config=RoundConfig(participants_per_round=10, local=_local()),
             eval_parties=None,
+            precision=PrecisionPlan(params="float32"),
         )
     elif profile == "paper":
         settings = RunSettings(

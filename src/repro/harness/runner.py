@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.federated import FederatedShiftDataset
 from repro.data.registry import DatasetSpec
+from repro.detection.thresholds import load_threshold_table
 from repro.experiments.events import RunCallback, RunInfo, first_stop_reason
 from repro.federation.async_engine import build_engine
 from repro.federation.party import Party
@@ -114,6 +115,11 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         # The run seed doubles as the mask-stream root: mask streams are
         # label-namespaced, so they never collide with model/data draws.
         secure_aggregation=seed if settings.secure_aggregation else None,
+        precision=settings.precision,
+        # The committed threshold table for this parameter precision; the
+        # float64 table repeats the historical values, so loading it leaves
+        # the legacy plane bit-for-bit unchanged.
+        thresholds=load_threshold_table(settings.precision),
     )
     strategy.setup(ctx)
 

@@ -78,7 +78,10 @@ def resolve_dtype(dtype) -> np.dtype:
     """Normalize a dtype knob (``None``/str/``np.dtype``) to a float dtype."""
     if dtype is None:
         return np.dtype(DEFAULT_DTYPE)
-    resolved = np.dtype(dtype)
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValueError(f"unknown parameter dtype {dtype!r}") from exc
     if resolved.kind != "f":
         raise ValueError(f"parameter dtype must be floating point; got {resolved}")
     return resolved

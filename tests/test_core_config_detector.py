@@ -16,8 +16,13 @@ class TestConfig:
     def test_defaults_valid(self):
         config = ShiftExConfig()
         assert config.delta_cov is None
-        assert config.tau > 0.9
+        # None = resolve tau/epsilon_scale from the run precision's
+        # committed threshold table; explicit values still validate below.
+        assert config.tau is None
+        assert config.epsilon_scale is None
         assert config.min_cluster_size >= 1
+        explicit = ShiftExConfig(tau=0.95, epsilon_scale=1.5)
+        assert explicit.tau == 0.95 and explicit.epsilon_scale == 1.5
 
     @pytest.mark.parametrize("kwargs", [
         {"p_value": 0.0},

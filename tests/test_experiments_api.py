@@ -148,9 +148,14 @@ class TestPlan:
         assert restored.dtype == "float32"
         _spec, settings = restored.resolve()
         assert settings.dtype == "float32"
-        # Default: precision comes from the profile settings (float64).
+        # Default: precision comes from the profile settings — ci runs
+        # float32 parameters, paper keeps the all-float64 plane.
         _spec, settings = ExperimentPlan.build(
             "cifar10_c_sim", ["fedavg"]).resolve()
+        assert settings.dtype == "float32"
+        assert settings.precision.detection_stats == "float64"
+        _spec, settings = ExperimentPlan.build(
+            "cifar10_c_sim", ["fedavg"], profile="paper").resolve()
         assert settings.dtype == "float64"
 
     def test_invalid_dtype_rejected(self):

@@ -35,6 +35,7 @@ from repro.federation.pool import (
 )
 from repro.federation.strategy import StrategyContext
 from repro.harness.profiles import RunSettings
+from repro.utils.precision import PrecisionPlan
 from repro.harness.runner import run_strategy
 from repro.nn.models import build_model
 from repro.utils.rng import spawn_rng
@@ -188,6 +189,54 @@ class TestPartyPoolResidency:
         # One replica plus the transient overshoot during materialization.
         assert pool.counters["models_built"] <= 2
         assert pool.counters["materialized"] == 8
+
+    def test_free_list_never_resurrects_mismatched_dtype(self):
+        """A float32 run must not resurrect a float64 free-list model.
+
+        A stale float64 replica on the free list (the shape a precision
+        bug would take) is dropped on the next materialization, not lent
+        out — every party the pool hands back stays at the pool dtype.
+        """
+        pool = self._pool(population=8, max_resident=1, dtype="float32")
+        stale = build_model(pool.spec.model_name, pool.spec.input_shape,
+                            pool.spec.num_classes, spawn_rng(9, "stale"),
+                            dtype="float64")
+        pool._free_models.append(stale)
+        party = pool[0]
+        assert party.dtype == np.dtype(np.float32)
+        assert stale not in pool._free_models
+
+    def test_dtype_survives_release_and_rematerialization(self):
+        """Recycled replicas keep the pool dtype across evict/re-acquire."""
+        pool = self._pool(population=8, max_resident=1, dtype="float32")
+        for pid in (0, 1, 2, 0, 3, 0):
+            assert pool[pid].dtype == np.dtype(np.float32)
+        # Recycling actually happened (one replica serving everyone) —
+        # the dtype above was preserved by reuse, not fresh builds.
+        assert pool.counters["models_built"] <= 2
+        pool.acquire(4)
+        assert pool[4].dtype == np.dtype(np.float32)
+        pool.release(4)
+        pool[5]  # evicts 4; its model lands on the free list
+        assert pool[4].dtype == np.dtype(np.float32)
+
+    def test_pooled_float32_run_builds_no_float64_model(self):
+        """End to end: a precision=float32 pooled run materializes only
+        float32 replicas, across eviction churn."""
+        spec = make_tiny_spec(name="unit_pool_f32", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=33)
+        settings = dataclasses.replace(
+            _pooled_settings(make_run_settings(), 6, max_resident=2),
+            precision=PrecisionPlan(params="float32"), dtype=None)
+        ds = FederatedShiftDataset(spec)
+        pool = PartyPool.from_config(spec, ds, settings.population, seed=0,
+                                     dtype=settings.np_dtype)
+        seen = set()
+        for pid in (0, 1, 2, 3, 4, 5, 1, 0):
+            seen.add(str(pool[pid].dtype))
+        assert seen == {"float32"}
+        assert pool.counters["evictions"] > 0
 
     def test_pinned_party_is_never_evicted(self):
         pool = self._pool(population=8, max_resident=2)

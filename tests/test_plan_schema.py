@@ -21,6 +21,7 @@ from repro.federation.pool import PopulationConfig
 from repro.harness.profiles import RunSettings
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
+from repro.utils.precision import PrecisionPlan
 
 DOCS = Path(__file__).parent.parent / "docs"
 
@@ -40,7 +41,9 @@ def _full_plan() -> ExperimentPlan:
         train_per_window=32, test_per_window=16)
     settings_override = RunSettings(
         rounds_burn_in=4, rounds_per_window=3, eval_parties=4,
-        dtype="float32", shards=3, secure_aggregation=True,
+        precision=PrecisionPlan(params="float32",
+                                detection_stats="float64"),
+        shards=3, secure_aggregation=True,
         federation=FederationConfig(mode="async"),
         population=PopulationConfig(size=500, max_resident=8),
         round_config=RoundConfig(
@@ -54,7 +57,9 @@ def _full_plan() -> ExperimentPlan:
         {"fedavg": "fedavg",
          "prox-strong": {"method": "fedprox", "kwargs": {"prox_mu": 0.1}}},
         seeds=(0, 1, 2), profile="small", name="full-schema",
-        dtype="float32", shards=2, secure_aggregation=True,
+        dtype="float32",
+        precision=PrecisionPlan(params="float32"),
+        shards=2, secure_aggregation=True,
         federation=federation,
         population=PopulationConfig(size=1000, max_resident=16, skew="zipf",
                                     zipf_a=1.5, survey=64),
@@ -82,6 +87,11 @@ class TestLosslessRoundTrip:
         data = json.loads(save_plan(tmp_path / "p.json", plan).read_text())
         assert data["shards"] == 2
         assert data["dtype"] == "float32"
+        assert data["precision"] == {"params": "float32",
+                                     "detection_stats": "float64"}
+        assert data["settings_override"]["precision"] == {
+            "params": "float32", "detection_stats": "float64"}
+        assert data["settings_override"]["dtype"] == "float32"
         assert data["secure_aggregation"] is True
         assert data["federation"]["mode"] == "buffered"
         assert data["settings_override"]["shards"] == 3
@@ -98,8 +108,8 @@ class TestLosslessRoundTrip:
         """Optional knobs absent from the file stay absent on re-save."""
         plan = ExperimentPlan.build("fashion_mnist_sim", ["fedavg"])
         data = plan.to_dict()
-        for key in ("dtype", "federation", "shards", "secure_aggregation",
-                    "population", "cohort_size",
+        for key in ("dtype", "precision", "federation", "shards",
+                    "secure_aggregation", "population", "cohort_size",
                     "spec_override", "settings_override"):
             assert key not in data
         assert ExperimentPlan.from_dict(data) == plan

@@ -399,6 +399,32 @@ class TestMaskedRunsBitwise:
         fed = plain.extras["federation"]
         assert fed["dropped"] > 0 and fed["delayed"] > 0
 
+    def test_masked_float32_population_run_is_bitwise_identical(self):
+        """The mixed precision plan under seal, at population scale.
+
+        A ``params=float32`` pooled run (virtual parties, bounded
+        residency, model recycling) seals rows in the uint32 bit domain;
+        sealing must stay invisible in the bits exactly as the float64
+        eager pins above, extending them to the PR's mixed plan.
+        """
+        from repro.federation.pool import PopulationConfig
+        from repro.utils.precision import PrecisionPlan
+
+        spec, ds = self._spec_ds(43)
+        base = dataclasses.replace(
+            make_run_settings(),
+            precision=PrecisionPlan(params="float32"), dtype=None,
+            population=PopulationConfig(size=spec.num_parties,
+                                        max_resident=3))
+        plain = run_strategy(build_strategy("fedavg"), spec, base, seed=0,
+                             dataset=ds)
+        masked = run_strategy(
+            build_strategy("fedavg"), spec,
+            dataclasses.replace(base, secure_aggregation=True,
+                                precision=base.precision, dtype=None),
+            seed=0, dataset=ds)
+        assert run_result_to_dict(plain) == run_result_to_dict(masked)
+
     @pytest.mark.slow
     @pytest.mark.parametrize("method", ["fedavg", "fedprox", "oort",
                                         "fielding", "feddrift", "shiftex"])

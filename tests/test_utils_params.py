@@ -169,6 +169,12 @@ class TestZeroCopyPlane:
         with pytest.raises(ValueError):
             resolve_dtype(np.int32)
 
+    def test_resolve_dtype_rejects_unknown_name(self):
+        # np.dtype raises TypeError here; the knob surfaces ValueError so
+        # CLI error handling stays uniform (exit 2, one-line stderr).
+        with pytest.raises(ValueError, match="bogus"):
+            resolve_dtype("bogus")
+
 
 class TestParamBank:
     def make_bank(self, rng, n=3, dtype=None):
