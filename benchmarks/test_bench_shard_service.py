@@ -1,0 +1,277 @@
+"""Microbenchmarks for shard dispatch (``BENCH_shard_service``).
+
+The shard-dispatch fix in one picture: a federated round touches each shard
+many times (one aggregation matvec per stream buffer plus Gram blocks for
+matching/consolidation), and the old path paid one worker-pool round trip
+*per op*.  Batched round submissions ship all of one shard's ops in a single
+submission, so the IPC cost per round is O(shards), not O(ops x shards).
+
+* **round_dispatch** — a round's worth of shard ops (stream matvecs + a
+  consolidation Gram block) dispatched per-op vs batched, both on the
+  process backend.  The CI gate requires batched >= 1.3x on >= 2-core
+  runners; on one core the measured multiple is still recorded but the
+  gate is report-only (``skipped_reason``), the PR-7 convention.
+* **backend_equivalence** — serial == process == remote, *bitwise*, on the
+  aggregation matvec, the consolidation cosine matrix, and the matching
+  MMD kernel (remote runs against a loopback ``repro.net.shard_service``).
+* **remote_loopback** — record-only: one batched remote round over the
+  loopback service, with the wire bytes it moved (the same counters the
+  run ledger meters under ``shard_service``).
+
+Results land in ``BENCH_shard_service.json`` at the repo root (committed
+perf anchor, merged into the trajectory table by ``trajectory.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.detection.mmd import mmd_to_many
+from repro.net.client import wire_totals
+from repro.net.shard_service import start_in_thread
+from repro.utils.params import ParamBank, ShardedParamBank
+from repro.utils.rng import spawn_rng
+from repro.utils.sharding import (
+    ShardPlan,
+    shard_ranges,
+    sharded_mmd_to_many,
+    submit_shard_op_batches,
+)
+
+ROOT_ARTIFACT = Path(__file__).parent.parent / "BENCH_shard_service.json"
+
+# The param-plane bench's resnet_mini-flavoured tensor list (~40k params).
+_SHAPES: list[tuple[int, ...]] = []
+for _c_in, _c_out in [(3, 16), (16, 16), (16, 16), (16, 32), (32, 32), (32, 32)]:
+    _SHAPES += [(_c_out, _c_in, 3, 3), (_c_out,)]
+_SHAPES += [(64, 96), (96,), (96, 48), (48,), (48, 10), (10,)]
+
+N_UPDATES = 48      # cohort rows resident in the round bank
+N_SHARDS = 4
+ROUND_MATVECS = 8   # stream-buffer aggregations landing in one round
+GRAM_ROWS = 12      # expert rows in the consolidation Gram block
+EMBED_DIM = 48
+SIG_ROWS = 64
+GAMMA = 0.05
+CPU_COUNT = os.cpu_count() or 1
+GATE_MIN_SPEEDUP = 1.3
+
+
+def _make_param_sets(rng: np.random.Generator, n: int) -> list:
+    return [[rng.normal(size=s) for s in _SHAPES] for _ in range(n)]
+
+
+def _best_of(fn, repeats: int = 9) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _round_ops(bank: ShardedParamBank, rng: np.random.Generator):
+    """One round's shard ops: stream matvecs plus a consolidation Gram block.
+
+    Returns ``(per_op_lists, batched_by_shard)`` describing the *same* ops
+    two ways: one ``ops_by_shard`` list per op (old dispatch: one pool
+    round trip each) and a single ``ops_by_shard`` holding everything
+    (batched dispatch: one round trip per round).
+    """
+    shards = len(bank.shard_tokens())
+    per_op_lists: list[list[list[tuple]]] = []
+    for _ in range(ROUND_MATVECS):
+        rows = sorted(rng.choice(N_UPDATES, size=N_UPDATES // 2,
+                                 replace=False).tolist())
+        weights = rng.uniform(1.0, 50.0, size=len(rows))
+        _, locals_by_shard, weights_by_shard = bank._prepare_combine(
+            weights, rows)
+        per_op_lists.append(
+            [[("matvec", locals_by_shard[s], weights_by_shard[s])]
+             for s in range(shards)])
+    entries = bank._selections(list(range(GRAM_ROWS)))
+    positions_by_shard = [list(range(a, b))
+                          for a, b in shard_ranges(GRAM_ROWS, shards)]
+    per_op_lists.append([[("gram", entries, p)] if p else []
+                         for p in positions_by_shard])
+    batched: list[list[tuple]] = [[] for _ in range(shards)]
+    for ops_by_shard in per_op_lists:
+        for s, ops in enumerate(ops_by_shard):
+            batched[s].extend(ops)
+    return per_op_lists, batched
+
+
+def _bench_round_dispatch(rng: np.random.Generator) -> dict:
+    bank = ShardedParamBank.from_param_sets(
+        _make_param_sets(rng, N_UPDATES),
+        plan=ShardPlan(shards=N_SHARDS, backend="process"))
+    per_op_lists, batched_ops = _round_ops(bank, rng)
+    tokens = bank.shard_tokens()
+
+    def per_op():
+        return [submit_shard_op_batches(tokens, ops_by_shard, "process")
+                for ops_by_shard in per_op_lists]
+
+    def batched():
+        return submit_shard_op_batches(tokens, batched_ops, "process")
+
+    # Batching must not change a single bit of any result.
+    flat_per_op: list[list] = [[] for _ in range(N_SHARDS)]
+    for results_by_shard in per_op():
+        for s, results in enumerate(results_by_shard):
+            flat_per_op[s].extend(results)
+    for s, (got, want) in enumerate(zip(batched(), flat_per_op)):
+        assert len(got) == len(want), f"shard {s}: op count mismatch"
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    per_op_s = _best_of(per_op)
+    batched_s = _best_of(batched)
+    bank.close()
+    entry = {
+        "kernel": ("one round of shard ops: per-op pool submissions vs one "
+                   "batched submission per shard"),
+        "n_ops": ROUND_MATVECS + 1,
+        "shards": N_SHARDS,
+        "n_updates": N_UPDATES,
+        "cpu_count": CPU_COUNT,
+        "per_op_s": per_op_s,
+        "batched_s": batched_s,
+        "speedup": per_op_s / batched_s,
+        "gate_min_speedup": GATE_MIN_SPEEDUP,
+        "gate_enforced": CPU_COUNT >= 2,
+    }
+    if CPU_COUNT < 2:
+        entry["skipped_reason"] = (
+            "cpu_count == 1: the >=1.3x gate applies to >=2-core runners; "
+            "the measured multiple above is recorded but not enforced")
+    return entry
+
+
+def _bench_backend_equivalence(rng: np.random.Generator,
+                               address: str) -> dict:
+    sets = _make_param_sets(rng, GRAM_ROWS)
+    rows = list(range(GRAM_ROWS))
+    weights = rng.uniform(1.0, 50.0, size=GRAM_ROWS)
+    cluster = rng.normal(size=(SIG_ROWS, EMBED_DIM))
+    signatures = [rng.normal(size=(SIG_ROWS, EMBED_DIM)) + i
+                  for i in range(8)]
+
+    plans = {
+        "serial": ShardPlan(shards=N_SHARDS, backend="serial"),
+        "process": ShardPlan(shards=N_SHARDS, backend="process"),
+        "remote": ShardPlan(shards=N_SHARDS, backend="remote",
+                            hosts=(address,)),
+    }
+    combines, cosines, mmds = {}, {}, {}
+    for name, plan in plans.items():
+        bank = ShardedParamBank.from_param_sets(sets, plan=plan)
+        combines[name] = bank.weighted_combine(weights, rows)
+        cosines[name] = bank.cosine_matrix(rows)
+        mmds[name] = sharded_mmd_to_many(cluster, signatures, GAMMA, plan)
+        bank.close()
+    for name in ("process", "remote"):
+        assert np.array_equal(combines[name], combines["serial"]), name
+        assert np.array_equal(cosines[name], cosines["serial"]), name
+        assert np.array_equal(mmds[name], mmds["serial"]), name
+    # ... and the sharded kernels agree with the unsharded ones to
+    # reassociation tolerance.
+    plain = ParamBank.from_param_sets(sets)
+    np.testing.assert_allclose(combines["serial"],
+                               plain.weighted_combine(weights, rows),
+                               rtol=1e-10, atol=1e-12)
+    np.testing.assert_allclose(mmds["serial"],
+                               mmd_to_many(cluster, signatures, GAMMA),
+                               rtol=1e-9, atol=1e-12)
+    return {
+        "kernels": ["aggregation matvec", "consolidation cosine matrix",
+                    "matching MMD"],
+        "backends": sorted(plans),
+        "shards": N_SHARDS,
+        "bitwise_equal": True,
+    }
+
+
+def _bench_remote_loopback(rng: np.random.Generator, address: str) -> dict:
+    bank = ShardedParamBank.from_param_sets(
+        _make_param_sets(rng, N_UPDATES),
+        plan=ShardPlan(shards=N_SHARDS, backend="remote", hosts=(address,)))
+    selections = []
+    for _ in range(ROUND_MATVECS):
+        rows = sorted(rng.choice(N_UPDATES, size=N_UPDATES // 2,
+                                 replace=False).tolist())
+        selections.append((rng.uniform(1.0, 50.0, size=len(rows)),
+                           rows))
+    weight_sets = [w for w, _ in selections]
+    rows_sets = [r for _, r in selections]
+    bank.weighted_combine_many(weight_sets, rows_sets)  # sync + warm-up
+    sent0, received0 = wire_totals()
+    round_s = _best_of(
+        lambda: bank.weighted_combine_many(weight_sets, rows_sets),
+        repeats=5)
+    sent1, received1 = wire_totals()
+    bank.close()
+    return {
+        "kernel": ("one batched remote round over a loopback shard service "
+                   "(record-only: loopback TCP, not a perf claim)"),
+        "n_ops": ROUND_MATVECS,
+        "shards": N_SHARDS,
+        "round_s": round_s,
+        "wire_sent_bytes": sent1 - sent0,
+        "wire_received_bytes": received1 - received0,
+    }
+
+
+@pytest.fixture(scope="module")
+def bench_results() -> dict:
+    rng = spawn_rng(0, "bench-shard-service")
+    handle = start_in_thread()
+    try:
+        return {
+            "round_dispatch": _bench_round_dispatch(rng),
+            "backend_equivalence": _bench_backend_equivalence(
+                rng, handle.address),
+            "remote_loopback": _bench_remote_loopback(rng, handle.address),
+        }
+    finally:
+        handle.stop()
+
+
+def test_bench_shard_service(bench_results, results_dir):
+    payload = dict(bench_results)
+    payload["cpu_count"] = CPU_COUNT
+    payload["note"] = ("best-of-9 wall times; round_dispatch times the same "
+                       "shard ops submitted per-op vs batched on the process "
+                       "backend; backend_equivalence pins serial == process "
+                       "== remote bitwise; remote_loopback is record-only")
+    ROOT_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    entry = bench_results["round_dispatch"]
+    assert entry["per_op_s"] > 0 and entry["batched_s"] > 0
+    assert bench_results["backend_equivalence"]["bitwise_equal"] is True
+    assert bench_results["remote_loopback"]["wire_sent_bytes"] > 0
+
+
+def test_bench_batched_dispatch_gate(bench_results):
+    """Batched round submissions must clearly beat per-op dispatch.
+
+    The gate (>= 1.3x) only binds on >= 2-core runners — the CI
+    ``bench-shard-service`` job — where the per-op path's submission waves
+    serialize against worker wakeups.  On one core the JSON records the
+    measured multiple with a ``skipped_reason`` instead (PR-7 convention);
+    even there batching usually wins (fewer IPC round trips), but noisy
+    single-core schedulers make a hard gate flaky.
+    """
+    entry = bench_results["round_dispatch"]
+    if CPU_COUNT < 2:
+        assert "skipped_reason" in entry and not entry["gate_enforced"]
+        return
+    assert entry["speedup"] >= GATE_MIN_SPEEDUP, (
+        f"batched dispatch only {entry['speedup']:.2f}x over per-op "
+        f"(gate {GATE_MIN_SPEEDUP}x)")

@@ -107,6 +107,12 @@ class ExperimentPlan:
     and the expert pool split across.  It overrides the profile settings'
     ``shards`` and serializes with the plan; ``None`` defers to the profile
     (whose default, 1, is the bitwise single-process path).
+    ``shard_backend`` picks who executes per-shard work
+    (``auto|process|serial|remote``) and ``shard_hosts`` names the
+    ``repro.net.shard_service`` daemons a ``remote`` backend talks to — an
+    address list or a TOML/JSON topology-file path (resolved at plan
+    construction so the serialized plan pins concrete addresses).  Both
+    serialize with the plan; ``None`` defers to the profile settings.
 
     ``secure_aggregation`` declares pairwise-masked rounds (see
     :mod:`repro.privacy.secure_aggregation`): party updates stay sealed in
@@ -136,6 +142,8 @@ class ExperimentPlan:
     precision: PrecisionPlan | None = None
     federation: FederationConfig | None = None
     shards: int | None = None
+    shard_backend: str | None = None
+    shard_hosts: tuple[str, ...] | None = None
     secure_aggregation: bool | None = None
     population: PopulationConfig | None = None
     cohort_size: int | None = None
@@ -161,6 +169,17 @@ class ExperimentPlan:
             self.shards = int(self.shards)
             if self.shards < 1:
                 raise ValueError("shards must be at least 1 when given")
+        if self.shard_hosts is not None:
+            from repro.net.topology import resolve_shard_hosts
+            self.shard_hosts = resolve_shard_hosts(self.shard_hosts)
+            if self.shard_hosts and self.shard_backend is None:
+                self.shard_backend = "remote"  # hosts imply the remote backend
+        if self.shard_backend is not None:
+            from repro.utils.sharding import ShardPlan
+            # Validates the backend name and the backend<->hosts pairing the
+            # same way RunSettings will at resolve() time.
+            ShardPlan(shards=self.shards or 2, backend=self.shard_backend,
+                      hosts=self.shard_hosts or ())
         if self.secure_aggregation is not None:
             self.secure_aggregation = bool(self.secure_aggregation)
         if self.federation is not None and not isinstance(self.federation,
@@ -186,6 +205,8 @@ class ExperimentPlan:
               precision: "PrecisionPlan | str | Mapping | None" = None,
               federation: FederationConfig | None = None,
               shards: int | None = None,
+              shard_backend: str | None = None,
+              shard_hosts=None,
               secure_aggregation: bool | None = None,
               population: "PopulationConfig | int | None" = None,
               cohort_size: int | None = None) -> "ExperimentPlan":
@@ -217,6 +238,7 @@ class ExperimentPlan:
                    precision=(PrecisionPlan.from_value(precision)
                               if precision is not None else None),
                    federation=federation, shards=shards,
+                   shard_backend=shard_backend, shard_hosts=shard_hosts,
                    secure_aggregation=secure_aggregation,
                    population=population, cohort_size=cohort_size)
 
@@ -254,6 +276,17 @@ class ExperimentPlan:
             settings = dataclasses.replace(settings, federation=self.federation)
         if self.shards is not None and settings.shards != self.shards:
             settings = dataclasses.replace(settings, shards=self.shards)
+        if (self.shard_backend is not None
+                and settings.shard_backend != self.shard_backend):
+            # backend and hosts move together: ShardPlan validation requires
+            # hosts exactly when the backend is remote.
+            settings = dataclasses.replace(
+                settings, shard_backend=self.shard_backend,
+                shard_hosts=self.shard_hosts or ())
+        elif (self.shard_hosts is not None
+                and settings.shard_hosts != self.shard_hosts):
+            settings = dataclasses.replace(settings,
+                                           shard_hosts=self.shard_hosts)
         if (self.secure_aggregation is not None
                 and settings.secure_aggregation != self.secure_aggregation):
             settings = dataclasses.replace(
@@ -306,6 +339,10 @@ class ExperimentPlan:
             out["federation"] = self.federation.to_dict()
         if self.shards is not None:
             out["shards"] = self.shards
+        if self.shard_backend is not None:
+            out["shard_backend"] = self.shard_backend
+        if self.shard_hosts is not None:
+            out["shard_hosts"] = list(self.shard_hosts)
         if self.secure_aggregation is not None:
             out["secure_aggregation"] = self.secure_aggregation
         if self.population is not None:
@@ -348,6 +385,9 @@ class ExperimentPlan:
             federation=(FederationConfig.from_dict(data["federation"])
                         if data.get("federation") is not None else None),
             shards=data.get("shards"),
+            shard_backend=data.get("shard_backend"),
+            shard_hosts=(tuple(data["shard_hosts"])
+                         if data.get("shard_hosts") is not None else None),
             secure_aggregation=data.get("secure_aggregation"),
             population=data.get("population"),
             cohort_size=data.get("cohort_size"),

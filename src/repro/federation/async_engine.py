@@ -279,8 +279,13 @@ class FederationEngine:
                                 or buf.bank.dtype != np.dtype(dtype)):
             # The stream's model changed shape (e.g. a rebuilt expert) or
             # precision; whatever was in flight can no longer be aggregated
-            # into it.
+            # into it.  Close the orphaned bank now — sharded banks hold shm
+            # segments (and possibly remote mirrors) that would otherwise
+            # linger until interpreter exit.
             self.counters["expired_reports"] += buf.flush()
+            close = getattr(buf.bank, "close", None)
+            if close is not None:
+                close()
             buf = None
         if buf is None:
             buf = AsyncRoundBuffer(spec, dtype=dtype, capacity=capacity,

@@ -171,28 +171,37 @@ def _sync_round(parties: dict[int, Party], participant_ids: list[int],
                            dtype=round_dtype(parties, participant_ids, params,
                                              dtype),
                            capacity=len(participant_ids), plan=shards)
-    session = seal = None
-    if secure is not None:
-        session, seal = make_round_session(participant_ids, spec, bank,
-                                           secure, context=("sync", round_tag))
-    rows, updates = train_cohort(parties, participant_ids, params, config,
-                                 round_tag, bank, seal=seal)
-    weights = np.array([float(u.num_samples) for u in updates])
-    usable = weights > 0
-    if not usable.any():
-        raise ValueError(
-            f"aggregation failed in round {round_tag!r}: all updates carry "
-            "zero samples"
-        )
-    usable_rows = [r for r, ok in zip(rows, usable) if ok]
-    if session is not None:
-        new_params = spec.view(session.combine_rows(
-            bank, weights[usable],
-            [(u.party_id, r) for u, r, ok in zip(updates, rows, usable)
-             if ok]))
-    else:
-        new_params = spec.view(bank.weighted_combine(weights[usable],
-                                                     usable_rows))
+    try:
+        session = seal = None
+        if secure is not None:
+            session, seal = make_round_session(participant_ids, spec, bank,
+                                               secure,
+                                               context=("sync", round_tag))
+        rows, updates = train_cohort(parties, participant_ids, params, config,
+                                     round_tag, bank, seal=seal)
+        weights = np.array([float(u.num_samples) for u in updates])
+        usable = weights > 0
+        if not usable.any():
+            raise ValueError(
+                f"aggregation failed in round {round_tag!r}: all updates "
+                "carry zero samples"
+            )
+        usable_rows = [r for r, ok in zip(rows, usable) if ok]
+        if session is not None:
+            new_params = spec.view(session.combine_rows(
+                bank, weights[usable],
+                [(u.party_id, r) for u, r, ok in zip(updates, rows, usable)
+                 if ok]))
+        else:
+            new_params = spec.view(bank.weighted_combine(weights[usable],
+                                                         usable_rows))
+    finally:
+        # The combined vector is a fresh array, so the round bank (and any
+        # sharded shm segments / remote mirrors behind it) can go now
+        # instead of waiting for GC to run finalizers at interpreter exit.
+        close = getattr(bank, "close", None)
+        if close is not None:
+            close()
     stats = RoundStats(
         participants=list(participant_ids),
         mean_train_loss=mean_finite_loss(updates),

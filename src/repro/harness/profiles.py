@@ -50,7 +50,12 @@ class RunSettings:
     every bank in-process and reproduces single-process results bitwise.
     ``shard_backend`` picks who executes per-shard work: ``auto`` (the
     default) uses the worker pool only for operations big enough to beat
-    the IPC round trip, ``process``/``serial`` force one side.
+    the IPC round trip, ``process``/``serial`` force one side, and
+    ``remote`` sends each shard's batched round ops to a
+    ``repro.net.shard_service`` daemon.  ``shard_hosts`` names those
+    daemons — a ``host:port`` tuple/list, a comma-separated string, or a
+    path to a TOML/JSON topology file (see :mod:`repro.net.topology`) —
+    and is required (only) by the remote backend.
 
     ``population`` (a :class:`~repro.federation.pool.PopulationConfig`, an
     int size, or a mapping) switches the run to *virtual parties*: instead
@@ -81,6 +86,7 @@ class RunSettings:
     federation: FederationConfig = field(default_factory=FederationConfig)
     shards: int = 1
     shard_backend: str = "auto"
+    shard_hosts: tuple[str, ...] = ()
     secure_aggregation: bool = False
     population: PopulationConfig | None = None
 
@@ -89,7 +95,10 @@ class RunSettings:
             raise ValueError("round counts must be positive")
         if self.eval_parties is not None and self.eval_parties <= 0:
             raise ValueError("eval_parties must be positive when given")
-        self.shard_plan  # validates shards >= 1 and the backend name
+        from repro.net.topology import resolve_shard_hosts
+
+        self.shard_hosts = resolve_shard_hosts(self.shard_hosts)
+        self.shard_plan  # validates shards >= 1, backend name, host pairing
         plan = PrecisionPlan.from_value(self.precision)
         if self.dtype is not None:
             alias = str(resolve_dtype(self.dtype))
@@ -113,7 +122,8 @@ class RunSettings:
 
     @property
     def shard_plan(self) -> ShardPlan:
-        return ShardPlan(shards=self.shards, backend=self.shard_backend)
+        return ShardPlan(shards=self.shards, backend=self.shard_backend,
+                         hosts=self.shard_hosts)
 
     def rounds_for_window(self, window: int) -> int:
         return self.rounds_burn_in if window == 0 else self.rounds_per_window

@@ -18,10 +18,12 @@ from repro.data.federated import FederatedShiftDataset
 from repro.data.registry import DatasetSpec
 from repro.detection.thresholds import load_threshold_table
 from repro.experiments.events import RunCallback, RunInfo, first_stop_reason
+from repro.federation.accounting import CommunicationLedger
 from repro.federation.async_engine import build_engine
 from repro.federation.party import Party
 from repro.federation.pool import PartyPool
 from repro.federation.strategy import ContinualStrategy, StrategyContext
+from repro.net.client import wire_totals
 from repro.harness.profiles import RunSettings
 from repro.metrics.windows import WindowSummary, summarize_run
 from repro.nn.models import build_model
@@ -104,6 +106,9 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     engine = build_engine(settings.federation, seed=seed,
                           num_parties=num_parties,
                           shard_plan=shard_plan)
+    # Snapshot shard-service wire counters so this run's delta (and only
+    # its delta) lands in the ledger under the shard_service category.
+    wire_sent0, wire_received0 = wire_totals()
     ctx = StrategyContext(
         spec=spec,
         parties=parties,
@@ -112,6 +117,9 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         seed=seed,
         federation=engine,
         shard_plan=shard_plan,
+        # Byte accounting follows the run's parameter dtype: a float32
+        # plane moves half the bytes of its float64 twin, exactly.
+        ledger=CommunicationLedger.from_precision(settings.precision),
         # The run seed doubles as the mask-stream root: mask streams are
         # label-namespaced, so they never collide with model/data draws.
         secure_aggregation=seed if settings.secure_aggregation else None,
@@ -199,6 +207,10 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         if stop_reason is not None:
             break
 
+    wire_sent1, wire_received1 = wire_totals()
+    if wire_sent1 > wire_sent0 or wire_received1 > wire_received0:
+        ctx.ledger.record_wire("shard_service", wire_sent1 - wire_sent0,
+                               wire_received1 - wire_received0)
     result = StrategyRunResult(
         strategy_name=strategy.name,
         dataset=spec.name,

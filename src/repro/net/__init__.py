@@ -1,0 +1,32 @@
+"""Multi-host shard plane: the shard service, its wire protocol and client.
+
+This package turns :class:`~repro.utils.params.ShardedParamBank` into a
+distributed data structure: ``repro.net.shard_service`` daemons host shard
+mirrors on remote machines, the client ships each shard's *batched* round
+ops (row sync + aggregation matvecs + Gram blocks) in one request, and the
+parent reduces the returned partials in ascending shard order — the same
+reduction contract the local backends honor, so ``remote`` results are
+bitwise-identical to ``serial`` and ``process``.
+
+Nothing here imports at simulator start-up cost: consumers reach the
+service lazily through ``ShardPlan(backend="remote", hosts=...)``.
+"""
+
+from repro.net.client import (
+    RemoteBankSession,
+    ShardServiceClient,
+    ShardServiceError,
+    ShardServiceUnavailable,
+    wire_totals,
+)
+from repro.net.topology import ShardTopology, resolve_shard_hosts
+
+__all__ = [
+    "RemoteBankSession",
+    "ShardServiceClient",
+    "ShardServiceError",
+    "ShardServiceUnavailable",
+    "ShardTopology",
+    "resolve_shard_hosts",
+    "wire_totals",
+]

@@ -1,0 +1,214 @@
+"""Blocking client for the shard service: sessions, batches, wire metering.
+
+The simulator side of :mod:`repro.net.shard_service`.  Three layers:
+
+* :class:`ShardServiceClient` — one TCP connection, request/reply framing,
+  error mapping.  Every byte sent/received is added to a process-wide
+  counter that :func:`wire_totals` exposes, so the harness can meter shard
+  traffic into the run's ``CommunicationLedger`` under the
+  ``shard_service`` category.
+* :class:`RemoteBankSession` — one bank's shard mirrors across the host
+  list (shard ``s`` lives on ``hosts[s % len(hosts)]``).  Its
+  :meth:`shard_batch` ships all of one shard's round ops in a single
+  request — the batched-submission contract that makes remote dispatch
+  O(shards) round trips per round.
+* :func:`run_kernel_tasks` — fans matching/consolidation kernel chunks out
+  across hosts by name (resolved against ``REMOTE_KERNELS`` server-side).
+
+Any socket-level failure raises :class:`ShardServiceUnavailable`; callers
+degrade to the serial backend (with a one-line warning) rather than kill
+the run.  Command-level failures raise :class:`ShardServiceError` — those
+are bugs, not outages, and are not swallowed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+
+import numpy as np
+
+from repro.net import protocol
+
+
+class ShardServiceError(RuntimeError):
+    """The service rejected a command (protocol misuse, unknown kernel)."""
+
+
+class ShardServiceUnavailable(ShardServiceError):
+    """The service cannot be reached; callers should degrade to serial."""
+
+
+_WIRE_LOCK = threading.Lock()
+_WIRE_SENT = 0
+_WIRE_RECEIVED = 0
+
+
+def wire_totals() -> tuple[int, int]:
+    """Process-lifetime ``(bytes_sent, bytes_received)`` over shard links.
+
+    Snapshot before/after a run and ledger the delta; counters never reset.
+    """
+    with _WIRE_LOCK:
+        return _WIRE_SENT, _WIRE_RECEIVED
+
+
+def _count_wire(sent: int, received: int) -> None:
+    global _WIRE_SENT, _WIRE_RECEIVED
+    with _WIRE_LOCK:
+        _WIRE_SENT += sent
+        _WIRE_RECEIVED += received
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"shard host must be 'host:port'; got '{address}'")
+    return host, int(port)
+
+
+class ShardServiceClient:
+    """One framed request/reply connection to a shard service."""
+
+    def __init__(self, address: str, timeout: float = 30.0) -> None:
+        self.address = address
+        try:
+            self._sock = socket.create_connection(parse_address(address),
+                                                  timeout=timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ShardServiceUnavailable(
+                f"cannot connect to shard host {address}: {exc}") from exc
+
+    def request(self, header: dict,
+                arrays: list[np.ndarray] | None = None,
+                ) -> tuple[dict, list[np.ndarray]]:
+        try:
+            sent = protocol.send_message(self._sock, header, arrays)
+            reply, reply_arrays, received = protocol.recv_message(self._sock)
+        except (OSError, ConnectionError, protocol.ProtocolError) as exc:
+            self.close()
+            raise ShardServiceUnavailable(
+                f"shard host {self.address} dropped: {exc}") from exc
+        _count_wire(sent, received)
+        if not reply.get("ok"):
+            raise ShardServiceError(
+                f"shard host {self.address}: {reply.get('error', 'unknown')}")
+        return reply, reply_arrays
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _ClientPool:
+    """Per-object connection cache: one client per distinct address."""
+
+    def __init__(self, timeout: float = 30.0) -> None:
+        self._timeout = timeout
+        self._clients: dict[str, ShardServiceClient] = {}
+
+    def get(self, address: str) -> ShardServiceClient:
+        client = self._clients.get(address)
+        if client is None:
+            client = ShardServiceClient(address, timeout=self._timeout)
+            self._clients[address] = client
+        return client
+
+    def drop(self, address: str) -> None:
+        client = self._clients.pop(address, None)
+        if client is not None:
+            client.close()
+
+    def request(self, address: str, header: dict,
+                arrays: list[np.ndarray] | None = None):
+        try:
+            return self.get(address).request(header, arrays)
+        except ShardServiceUnavailable:
+            self.drop(address)
+            raise
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+
+_SESSION_IDS = itertools.count()
+
+
+class RemoteBankSession:
+    """One ``ShardedParamBank``'s mirrors across the shard-host list."""
+
+    def __init__(self, hosts: tuple[str, ...], shards: int, dim: int,
+                 dtype: str, capacity: int = 1,
+                 timeout: float = 30.0) -> None:
+        if not hosts:
+            raise ValueError("RemoteBankSession needs at least one host")
+        self.bank_id = f"{os.getpid()}-{next(_SESSION_IDS)}"
+        self.hosts = tuple(hosts)
+        self._host_for = [self.hosts[s % len(self.hosts)]
+                          for s in range(shards)]
+        self._pool = _ClientPool(timeout=timeout)
+        for shard, address in enumerate(self._host_for):
+            self._pool.request(address, {"cmd": "create", "bank": self.bank_id,
+                                         "shard": shard, "dim": int(dim),
+                                         "dtype": str(dtype),
+                                         "capacity": int(capacity)})
+
+    def shard_batch(self, shard: int, ops: list[dict]) -> list:
+        """Run one shard's op list in a single request; per-op results."""
+        arrays: list[np.ndarray] = []
+        header = {"cmd": "batch", "bank": self.bank_id, "shard": int(shard),
+                  "ops": protocol.encode_tree(ops, arrays)}
+        reply, reply_arrays = self._pool.request(self._host_for[shard],
+                                                 header, arrays)
+        return protocol.decode_tree(reply["results"], reply_arrays)
+
+    def free(self) -> None:
+        """Best-effort: drop this bank's mirrors on every reachable host."""
+        for address in dict.fromkeys(self._host_for):
+            try:
+                self._pool.request(address, {"cmd": "free",
+                                             "bank": self.bank_id})
+            except ShardServiceError:
+                pass
+        self._pool.close()
+
+    def close(self) -> None:
+        self.free()
+
+
+def run_kernel_tasks(hosts: tuple[str, ...], kernel: str,
+                     task_args: list[tuple]) -> list:
+    """Run named-kernel chunks across hosts, one batched request per host.
+
+    Chunk ``i`` goes to ``hosts[i % len(hosts)]``; results come back in
+    chunk order, matching :func:`repro.utils.sharding.submit_shard_tasks`.
+    """
+    if not hosts:
+        raise ShardServiceUnavailable("no shard hosts configured")
+    pool = _ClientPool()
+    try:
+        by_host: dict[str, list[int]] = {}
+        for i in range(len(task_args)):
+            by_host.setdefault(hosts[i % len(hosts)], []).append(i)
+        results: list = [None] * len(task_args)
+        for address, indices in by_host.items():
+            ops = [{"op": "kernel", "name": kernel,
+                    "args": list(task_args[i])} for i in indices]
+            arrays: list[np.ndarray] = []
+            header = {"cmd": "batch", "bank": f"kernels-{os.getpid()}",
+                      "shard": -1, "ops": protocol.encode_tree(ops, arrays)}
+            reply, reply_arrays = pool.request(address, header, arrays)
+            for i, value in zip(indices,
+                                protocol.decode_tree(reply["results"],
+                                                     reply_arrays)):
+                results[i] = value
+        return results
+    finally:
+        pool.close()

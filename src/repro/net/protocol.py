@@ -1,0 +1,166 @@
+"""Framed wire protocol for the shard service: JSON header + raw ndarrays.
+
+One message is::
+
+    b"RSB1" | u32 header_len | header (JSON, UTF-8) | payload buffers...
+
+The header is a plain dict.  Arrays never travel inside the JSON — they are
+appended as raw C-contiguous buffers, each prefixed by a u64 byte length,
+and described positionally by the auto-added ``_arrays`` header key
+(``[{"shape": ..., "dtype": ...}, ...]``).  Values that *contain* arrays
+(kernel argument trees, per-op results) are encoded with
+:func:`encode_tree`, which swaps every ndarray for a ``{"__nd__": i}``
+placeholder pointing into the payload list; :func:`decode_tree` reverses
+it.  No pickle anywhere: the protocol can only express JSON plus arrays,
+which is exactly what the shard kernels need and nothing an attacker can
+execute.
+
+Byte counts are exact and symmetric — both ends see the same framed bytes —
+so the client can meter wire traffic into the run's
+:class:`~repro.federation.accounting.CommunicationLedger`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+MAGIC = b"RSB1"
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+# A header larger than this is a framing error, not a real message (the
+# header carries op descriptors and row indices, never parameter data).
+MAX_HEADER_BYTES = 64 << 20
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame: bad magic, oversized header, or truncated stream."""
+
+
+def encode_tree(obj: Any, arrays: list[np.ndarray]) -> Any:
+    """Return a JSON-able mirror of ``obj``; ndarrays go to ``arrays``."""
+    if isinstance(obj, np.ndarray):
+        arrays.append(obj)
+        return {"__nd__": len(arrays) - 1}
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): encode_tree(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [encode_tree(v, arrays) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot encode {type(obj).__name__} on the wire")
+
+
+def decode_tree(obj: Any, arrays: list[np.ndarray]) -> Any:
+    """Reverse :func:`encode_tree` against the received payload arrays."""
+    if isinstance(obj, dict):
+        if set(obj) == {"__nd__"}:
+            return arrays[obj["__nd__"]]
+        return {k: decode_tree(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [decode_tree(v, arrays) for v in obj]
+    return obj
+
+
+def pack_message(header: dict, arrays: list[np.ndarray] | None = None) -> bytes:
+    arrays = arrays or []
+    head = dict(header)
+    head["_arrays"] = [{"shape": list(a.shape), "dtype": str(a.dtype)}
+                       for a in arrays]
+    head_bytes = json.dumps(head, separators=(",", ":")).encode("utf-8")
+    parts: list[bytes] = [MAGIC, _U32.pack(len(head_bytes)), head_bytes]
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        parts.append(_U64.pack(arr.nbytes))
+        parts.append(arr.tobytes())
+    return b"".join(parts)
+
+
+def _unpack_header(raw: bytes) -> dict:
+    header = json.loads(raw.decode("utf-8"))
+    if not isinstance(header, dict) or "_arrays" not in header:
+        raise ProtocolError("header is not a message dict")
+    return header
+
+
+def _array_from(buf: bytes, meta: dict) -> np.ndarray:
+    arr = np.frombuffer(buf, dtype=np.dtype(meta["dtype"]))
+    return arr.reshape(tuple(meta["shape"]))
+
+
+def _check_prefix(magic: bytes, head_len: int) -> None:
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if head_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {head_len} bytes exceeds limit")
+
+
+# -- blocking-socket side (client) ----------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, header: dict,
+                 arrays: list[np.ndarray] | None = None) -> int:
+    """Send one frame; returns the exact byte count put on the wire."""
+    payload = pack_message(header, arrays)
+    sock.sendall(payload)
+    return len(payload)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict, list[np.ndarray], int]:
+    """Receive one frame; returns (header, arrays, bytes_received)."""
+    prefix = _recv_exact(sock, len(MAGIC) + _U32.size)
+    magic, head_len = prefix[:len(MAGIC)], _U32.unpack(prefix[len(MAGIC):])[0]
+    _check_prefix(magic, head_len)
+    header = _unpack_header(_recv_exact(sock, head_len))
+    total = len(prefix) + head_len
+    arrays = []
+    for meta in header.pop("_arrays"):
+        nbytes = _U64.unpack(_recv_exact(sock, _U64.size))[0]
+        arrays.append(_array_from(_recv_exact(sock, nbytes), meta))
+        total += _U64.size + nbytes
+    return header, arrays, total
+
+
+# -- asyncio side (service) -----------------------------------------------
+
+
+async def read_message(reader) -> tuple[dict, list[np.ndarray], int]:
+    """Asyncio twin of :func:`recv_message` (raises IncompleteReadError/EOF)."""
+    prefix = await reader.readexactly(len(MAGIC) + _U32.size)
+    magic, head_len = prefix[:len(MAGIC)], _U32.unpack(prefix[len(MAGIC):])[0]
+    _check_prefix(magic, head_len)
+    header = _unpack_header(await reader.readexactly(head_len))
+    total = len(prefix) + head_len
+    arrays = []
+    for meta in header.pop("_arrays"):
+        nbytes = _U64.unpack(await reader.readexactly(_U64.size))[0]
+        arrays.append(_array_from(await reader.readexactly(nbytes), meta))
+        total += _U64.size + nbytes
+    return header, arrays, total
+
+
+async def write_message(writer, header: dict,
+                        arrays: list[np.ndarray] | None = None) -> int:
+    payload = pack_message(header, arrays)
+    writer.write(payload)
+    await writer.drain()
+    return len(payload)

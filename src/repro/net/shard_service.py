@@ -1,0 +1,236 @@
+"""Asyncio/TCP daemon hosting ``ShardedParamBank`` shards for remote plans.
+
+Run one per host declared in the topology file::
+
+    python -m repro.net.shard_service --host 0.0.0.0 --port 7700
+
+A service holds *shard mirrors*: ``(bank_id, shard)``-keyed row matrices
+that clients populate with ``write_rows`` ops and then query with compute
+ops, all inside **one batched request per shard per round** (see
+``docs/ARCHITECTURE.md``).  Commands, all framed by
+:mod:`repro.net.protocol`:
+
+``ping``
+    liveness / version check.
+``create``   ``{bank, shard, dim, dtype, capacity}``
+    allocate (or reset) one shard mirror.
+``batch``    ``{bank, shard, ops: [...]}``
+    execute the shard's op list in order and return per-op results.  Ops:
+    ``write_rows`` (sync dirty rows), ``matvec`` (partial ``w @ M`` over
+    server-resident rows), ``gram`` (Gram block over shipped rows), and
+    ``kernel`` (a name from ``repro.utils.sharding.REMOTE_KERNELS`` — the
+    wire carries kernel *names*, never code).
+``free``     ``{bank}``
+    drop every shard mirror of one bank.
+``shutdown``
+    stop the daemon (used by orchestration teardown).
+
+Errors inside a command return ``{"ok": false, "error": ...}`` and keep the
+connection alive; framing errors close it.  The numpy kernels are the same
+ones the serial/process backends run, and clients reduce partials in
+ascending shard order, so a remote plan reproduces local results bitwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import threading
+
+import numpy as np
+
+from repro.net import protocol
+
+
+class _ShardStore:
+    """One server's shard mirrors: ``(bank, shard) -> growable row matrix``."""
+
+    def __init__(self) -> None:
+        self._shards: dict[tuple[str, int], np.ndarray] = {}
+
+    def create(self, bank: str, shard: int, dim: int, dtype: str,
+               capacity: int) -> None:
+        rows = max(int(capacity), 1)
+        self._shards[(bank, shard)] = np.zeros((rows, int(dim)),
+                                               dtype=np.dtype(dtype))
+
+    def free(self, bank: str) -> int:
+        keys = [k for k in self._shards if k[0] == bank]
+        for key in keys:
+            del self._shards[key]
+        return len(keys)
+
+    def buffer(self, bank: str, shard: int, min_rows: int = 0) -> np.ndarray:
+        try:
+            buf = self._shards[(bank, shard)]
+        except KeyError:
+            raise KeyError(f"unknown shard {shard} of bank '{bank}' "
+                           "(create it first)") from None
+        if min_rows > buf.shape[0]:
+            grown = np.zeros((max(min_rows, 2 * buf.shape[0]), buf.shape[1]),
+                             dtype=buf.dtype)
+            grown[:buf.shape[0]] = buf
+            buf = self._shards[(bank, shard)] = grown
+        return buf
+
+
+def _apply_op(store: _ShardStore, bank: str, shard: int, op: dict):
+    from repro.utils.sharding import REMOTE_KERNELS, _matvec_partial
+
+    kind = op.get("op")
+    if kind == "write_rows":
+        rows = np.asarray(op["rows"], dtype=np.intp)
+        data = op["data"]
+        buf = store.buffer(bank, shard,
+                           min_rows=int(rows.max()) + 1 if len(rows) else 0)
+        buf[rows] = data
+        return None
+    if kind == "matvec":
+        buf = store.buffer(bank, shard)
+        return _matvec_partial(buf, op["rows"], op["weights"])
+    if kind == "gram":
+        x = np.asarray(op["x"])
+        return x[np.asarray(op["positions"], dtype=np.intp)] @ x.T
+    if kind == "kernel":
+        try:
+            fn = REMOTE_KERNELS[op["name"]]
+        except KeyError:
+            raise ValueError(f"unknown kernel '{op.get('name')}'") from None
+        return fn(*op["args"])
+    raise ValueError(f"unknown batch op '{kind}'")
+
+
+class ShardService:
+    """The daemon: a :class:`_ShardStore` behind an asyncio TCP server."""
+
+    def __init__(self) -> None:
+        self.store = _ShardStore()
+        self._stop = asyncio.Event()
+
+    def _dispatch(self, header: dict, arrays: list[np.ndarray]) -> tuple:
+        cmd = header.get("cmd")
+        if cmd == "ping":
+            return {"pong": True}, []
+        if cmd == "create":
+            self.store.create(header["bank"], int(header["shard"]),
+                              int(header["dim"]), header["dtype"],
+                              int(header.get("capacity", 1)))
+            return {}, []
+        if cmd == "batch":
+            ops = protocol.decode_tree(header["ops"], arrays)
+            results = [_apply_op(self.store, header["bank"],
+                                 int(header["shard"]), op) for op in ops]
+            out_arrays: list[np.ndarray] = []
+            return {"results": protocol.encode_tree(results, out_arrays)}, \
+                out_arrays
+        if cmd == "free":
+            return {"freed": self.store.free(header["bank"])}, []
+        if cmd == "shutdown":
+            self._stop.set()
+            return {}, []
+        raise ValueError(f"unknown command '{cmd}'")
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    header, arrays, _ = await protocol.read_message(reader)
+                except (asyncio.IncompleteReadError, ConnectionError,
+                        protocol.ProtocolError):
+                    break
+                except asyncio.CancelledError:  # daemon shutting down
+                    break
+                try:
+                    reply, out_arrays = self._dispatch(header, arrays)
+                    reply["ok"] = True
+                except Exception as exc:  # command errors keep the connection
+                    reply, out_arrays = \
+                        {"ok": False,
+                         "error": f"{type(exc).__name__}: {exc}"}, []
+                try:
+                    await protocol.write_message(writer, reply, out_arrays)
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def serve(self, host: str, port: int) -> None:
+        server = await asyncio.start_server(self.handle, host, port)
+        async with server:
+            await self._stop.wait()
+        await _cancel_outstanding()
+
+
+async def _cancel_outstanding() -> None:
+    """Cancel live connection handlers so the loop closes without warnings."""
+    current = asyncio.current_task()
+    pending = [t for t in asyncio.all_tasks() if t is not current]
+    for task in pending:
+        task.cancel()
+    await asyncio.gather(*pending, return_exceptions=True)
+
+
+class ServiceHandle:
+    """A shard service running on a daemon thread (tests / single-box runs)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = ShardService()
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+        box: dict = {}
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+
+            async def _main() -> None:
+                server = await asyncio.start_server(self.service.handle,
+                                                    host, port)
+                box["port"] = server.sockets[0].getsockname()[1]
+                started.set()
+                async with server:
+                    await self.service._stop.wait()
+                await _cancel_outstanding()
+
+            self._loop.run_until_complete(_main())
+            self._loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="shard-service")
+        self._thread.start()
+        if not started.wait(timeout=10.0):  # pragma: no cover
+            raise RuntimeError("shard service failed to start")
+        self.address = f"{host}:{box['port']}"
+
+    def stop(self) -> None:
+        """Stop the service and join the thread (idempotent)."""
+        try:
+            self._loop.call_soon_threadsafe(self.service._stop.set)
+        except RuntimeError:  # loop already closed by a prior stop()
+            pass
+        self._thread.join(timeout=10.0)
+
+
+def start_in_thread(host: str = "127.0.0.1", port: int = 0) -> ServiceHandle:
+    return ServiceHandle(host, port)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.shard_service",
+        description="host ShardedParamBank shards for remote shard plans")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7700,
+                        help="TCP port to listen on (default: 7700)")
+    args = parser.parse_args(argv)
+    asyncio.run(ShardService().serve(args.host, args.port))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

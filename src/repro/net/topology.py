@@ -1,0 +1,117 @@
+"""Declarative shard topology: hosts × roles from a TOML/JSON file.
+
+A topology file names every machine in a multi-host run and what it does::
+
+    # topology.toml
+    [[hosts]]
+    address = "10.0.0.11:7700"
+    role = "shards"
+
+    [[hosts]]
+    address = "10.0.0.12:7700"
+    role = "shards"
+
+    [[hosts]]
+    address = "10.0.0.10:7700"
+    role = "coordinator"
+
+Only ``role = "shards"`` hosts receive shard mirrors; ``coordinator`` (the
+machine running the simulator itself) is declarative documentation today
+and keeps the file a complete picture of the deployment.  The JSON twin is
+``{"hosts": [{"address": ..., "role": ...}]}``.
+
+:func:`resolve_shard_hosts` is the one normalization funnel used by the
+CLI, ``RunSettings`` and ``ExperimentPlan``: it accepts a topology file
+path, a comma-separated ``host:port`` list, an iterable, or ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_ROLES = ("shards", "coordinator")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    address: str
+    role: str = "shards"
+
+    def __post_init__(self) -> None:
+        from repro.net.client import parse_address
+
+        parse_address(self.address)  # validates 'host:port' shape
+        if self.role not in _ROLES:
+            raise ValueError(f"role must be one of {_ROLES}; "
+                             f"got '{self.role}'")
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """The parsed hosts × roles declaration of one deployment."""
+
+    hosts: tuple[HostSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+        if not self.shard_hosts():
+            raise ValueError("topology declares no role='shards' hosts")
+
+    def shard_hosts(self) -> tuple[str, ...]:
+        """Addresses that receive shard mirrors, in declaration order."""
+        return tuple(h.address for h in self.hosts if h.role == "shards")
+
+    @classmethod
+    def from_mapping(cls, data: dict) -> "ShardTopology":
+        entries = data.get("hosts")
+        if not isinstance(entries, list) or not entries:
+            raise ValueError("topology needs a non-empty 'hosts' list")
+        hosts = []
+        for entry in entries:
+            if isinstance(entry, str):
+                hosts.append(HostSpec(address=entry))
+            else:
+                hosts.append(HostSpec(address=entry["address"],
+                                      role=entry.get("role", "shards")))
+        return cls(hosts=tuple(hosts))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ShardTopology":
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            import tomllib
+
+            data = tomllib.loads(text)
+        else:
+            data = json.loads(text)
+        return cls.from_mapping(data)
+
+
+def resolve_shard_hosts(value) -> tuple[str, ...]:
+    """Normalize a hosts knob to a ``host:port`` address tuple.
+
+    Accepts ``None``/empty (no hosts), a :class:`ShardTopology`, a path to
+    a ``.toml``/``.json`` topology file, a comma-separated address list, or
+    any iterable of addresses.
+    """
+    from repro.net.client import parse_address
+
+    if value is None:
+        return ()
+    if isinstance(value, ShardTopology):
+        return value.shard_hosts()
+    if isinstance(value, (str, Path)):
+        text = str(value).strip()
+        if not text:
+            return ()
+        if text.lower().endswith((".toml", ".json")):
+            return ShardTopology.from_file(text).shard_hosts()
+        hosts = tuple(part.strip() for part in text.split(",") if part.strip())
+    else:
+        hosts = tuple(str(v) for v in value)
+    for host in hosts:
+        parse_address(host)  # fail at resolve time, not first connection
+    return hosts

@@ -64,9 +64,8 @@ from repro.utils.sharding import (
     ShardPlan,
     resolve_shard_plan,
     shard_ranges,
-    submit_shard_tasks,
-    _task_gather_product,
-    _task_matvec,
+    submit_shard_op_batches,
+    warn_remote_fallback,
 )
 
 Params = list[np.ndarray]
@@ -471,6 +470,20 @@ class ParamBank:
             raise ValueError("weights must sum to a positive value")
         return (weights / total) @ matrix
 
+    def weighted_combine_many(self, weight_sets,
+                              rows_sets: list | None = None,
+                              ) -> list[np.ndarray]:
+        """Many :meth:`weighted_combine` selections at once.
+
+        For the in-process bank this is just the loop; the sharded bank
+        overrides it to ship all selections in one submission per shard.
+        The two signatures stay aligned so round code is backend-agnostic.
+        """
+        if rows_sets is None:
+            rows_sets = [None] * len(weight_sets)
+        return [self.weighted_combine(w, r)
+                for w, r in zip(weight_sets, rows_sets)]
+
     def cosine_matrix(self, rows: list[int] | None = None) -> np.ndarray:
         """Pairwise cosine similarity of rows via one normalized matmul."""
         return cosine_similarity_matrix(self.matrix(rows))
@@ -552,6 +565,13 @@ class _ShmShard(ParamBank):
                 self._retired.append(shm)
 
 
+def _remote_unavailable():
+    """The outage exception class, imported lazily (except-clause helper)."""
+    from repro.net.client import ShardServiceUnavailable
+
+    return ShardServiceUnavailable
+
+
 def _close_shards(shards: list[_ShmShard]) -> None:
     for shard in shards:
         shard.close()
@@ -592,6 +612,14 @@ class ShardedParamBank:
         self._slots: list[tuple[int, int] | None] = []  # gid -> (shard, local)
         self._free: list[int] = []
         self._cursor = 0  # round-robin shard assignment for fresh rows
+        # Remote plans mirror shard rows inside shard-service daemons.  The
+        # local shm shards stay the source of truth (training writes rows
+        # zero-copy); _dirty tracks which locals changed since the last
+        # sync, and each batched submission prepends one write_rows op that
+        # brings the mirror current before its compute ops run.
+        self._dirty: list[set[int]] = [set() for _ in self._shards]
+        self._remote = None
+        self._remote_dead = False
         self._finalizer = weakref.finalize(self, _close_shards, self._shards)
 
     # ------------------------------------------------------------------ construction
@@ -612,6 +640,7 @@ class ShardedParamBank:
             if b > a:
                 shard._buf[:b - a] = matrix[a:b]
             shard._refs = [1] * (b - a)
+            bank._dirty[s].update(range(b - a))
             for local in range(b - a):
                 bank._slots.append((s, local))
         bank._cursor = len(param_sets)
@@ -652,6 +681,7 @@ class ShardedParamBank:
         s = self._cursor % self.plan.shards
         self._cursor += 1
         local = self._shards[s].alloc(values)
+        self._dirty[s].add(local)
         return self._new_gid((s, local))
 
     def share(self, row: int) -> int:
@@ -681,23 +711,35 @@ class ShardedParamBank:
         if shard.refcount(local) == 1:
             return row
         s = self._slots[row][0]
-        return self._new_gid((s, shard.ensure_private(local)))
+        private = shard.ensure_private(local)
+        self._dirty[s].add(private)
+        return self._new_gid((s, private))
 
     # ------------------------------------------------------------------ row access
 
     def row(self, row: int) -> np.ndarray:
-        """Zero-copy 1-D view of one row (into its shard's buffer)."""
+        """Zero-copy 1-D view of one row (into its shard's buffer).
+
+        Handing out a writeable view conservatively marks the row dirty for
+        remote mirrors; a view written *after* the bank's next remote
+        submission without re-fetching ``row()`` is not re-synced (the same
+        "views do not survive growth" caching caveat applies).
+        """
         shard, local = self._entry(row)
+        self._dirty[self._slots[row][0]].add(local)
         return shard.row(local)
 
     def row_params(self, row: int, writeable: bool = True) -> Params:
         """The row as shaped zero-copy parameter views."""
         shard, local = self._entry(row)
+        if writeable:
+            self._dirty[self._slots[row][0]].add(local)
         return shard.row_params(local, writeable=writeable)
 
     def write_row(self, row: int, values: Params | np.ndarray) -> None:
         shard, local = self._entry(row)
         shard.write_row(local, values)
+        self._dirty[self._slots[row][0]].add(local)
 
     # ------------------------------------------------------------------ matrix ops
 
@@ -742,9 +784,12 @@ class ShardedParamBank:
 
         Weights are normalized over the *full* selection, each shard
         computes its partial product over its rows, and the parent sums the
-        partials in ascending shard order — the ``process`` and ``serial``
-        backends agree bitwise.
+        partials in ascending shard order — all backends agree bitwise.
         """
+        return self.weighted_combine_many([weights], [rows])[0]
+
+    def _prepare_combine(self, weights, rows):
+        """One selection as per-shard ``(locals, weights)`` op inputs."""
         if rows is None:
             rows = self._live_rows()
         entries = self._selections(rows)
@@ -763,23 +808,134 @@ class ShardedParamBank:
         for (s, local), w in zip(entries, scaled):
             locals_by_shard[s].append(local)
             weights_by_shard[s].append(w)
+        return len(entries), locals_by_shard, weights_by_shard
+
+    def weighted_combine_many(self, weight_sets,
+                              rows_sets: list | None = None,
+                              ) -> list[np.ndarray]:
+        """All of a round's aggregation matvecs, one submission per shard.
+
+        Every ``(weights, rows)`` selection contributes one matvec op per
+        shard it touches; each shard then receives its *whole op list* in a
+        single pool (or shard-service) round trip instead of one trip per
+        selection.  Per-op partials are still reduced in ascending shard
+        order, so results are bitwise-identical to calling
+        :meth:`weighted_combine` once per selection, on every backend.
+        """
+        if rows_sets is None:
+            rows_sets = [None] * len(weight_sets)
+        prepared = [self._prepare_combine(w, r)
+                    for w, r in zip(weight_sets, rows_sets)]
+        total_rows = sum(n for n, _, _ in prepared)
         backend = self.plan.backend_for(
-            len(entries) * self.dim * self.dtype.itemsize)
-        tokens = self.shard_tokens()
-        out = np.zeros(self.dim, dtype=self.dtype)
-        if backend == "process":
-            tasks = [(tokens[s], locals_by_shard[s],
-                      np.asarray(weights_by_shard[s], dtype=self.dtype))
-                     for s in range(len(self._shards)) if locals_by_shard[s]]
-            for partial in submit_shard_tasks(_task_matvec, tasks, backend):
-                out += partial
-        else:
+            total_rows * self.dim * self.dtype.itemsize)
+        if backend == "remote":
+            session = self._remote_session()
+            if session is not None:
+                try:
+                    return self._remote_combine_many(session, prepared)
+                except _remote_unavailable() as exc:
+                    self._mark_remote_dead(exc)
+            backend = "serial"
+        ops_by_shard: list[list[tuple]] = [[] for _ in self._shards]
+        op_ids_by_shard: list[list[int]] = [[] for _ in self._shards]
+        for i, (_n, locals_by_shard, weights_by_shard) in enumerate(prepared):
+            for s in range(len(self._shards)):
+                if locals_by_shard[s]:
+                    ops_by_shard[s].append(
+                        ("matvec", locals_by_shard[s],
+                         np.asarray(weights_by_shard[s], dtype=self.dtype)))
+                    op_ids_by_shard[s].append(i)
+        results = submit_shard_op_batches(self.shard_tokens(), ops_by_shard,
+                                          backend)
+        outs = [np.zeros(self.dim, dtype=self.dtype) for _ in prepared]
+        for s in range(len(self._shards)):
+            for i, partial in zip(op_ids_by_shard[s], results[s]):
+                outs[i] += partial
+        return outs
+
+    # ------------------------------------------------------------------ remote mirror
+
+    def _remote_session(self):
+        """The lazily opened shard-service session, or None when degraded."""
+        if self._remote_dead:
+            return None
+        if self._remote is None:
+            from repro.net.client import (RemoteBankSession,
+                                          ShardServiceUnavailable)
+
+            capacity = max(shard.n_slots for shard in self._shards)
+            try:
+                self._remote = RemoteBankSession(
+                    self.plan.hosts, shards=len(self._shards), dim=self.dim,
+                    dtype=str(self.dtype), capacity=capacity)
+            except ShardServiceUnavailable as exc:
+                self._mark_remote_dead(exc)
+                return None
+            # a fresh mirror holds zeros; everything local is unsynced
             for s, shard in enumerate(self._shards):
-                if not locals_by_shard[s]:
+                self._dirty[s].update(range(shard.n_slots))
+        return self._remote
+
+    def _mark_remote_dead(self, exc) -> None:
+        self._remote_dead = True
+        self._remote = None
+        warn_remote_fallback(str(exc))
+
+    def _sync_ops(self, s: int) -> list[dict]:
+        """A ``write_rows`` op bringing shard ``s``'s mirror current."""
+        dirty = sorted(self._dirty[s])
+        if not dirty:
+            return []
+        data = self._shards[s]._buf[np.asarray(dirty, dtype=np.intp)]
+        return [{"op": "write_rows", "rows": dirty, "data": data}]
+
+    def _remote_combine_many(self, session, prepared) -> list[np.ndarray]:
+        outs = [np.zeros(self.dim, dtype=self.dtype) for _ in prepared]
+        for s in range(len(self._shards)):
+            ops = self._sync_ops(s)
+            pad = len(ops)
+            op_ids = []
+            for i, (_n, locals_by_shard, weights_by_shard) in \
+                    enumerate(prepared):
+                if locals_by_shard[s]:
+                    ops.append({"op": "matvec", "rows": locals_by_shard[s],
+                                "weights": np.asarray(weights_by_shard[s],
+                                                      dtype=self.dtype)})
+                    op_ids.append(i)
+            if not ops:
+                continue
+            results = session.shard_batch(s, ops)
+            self._dirty[s].clear()
+            for i, partial in zip(op_ids, results[pad:]):
+                outs[i] += np.asarray(partial)
+        return outs
+
+    def _remote_gram_blocks(self, entries, positions_by_shard):
+        """Per-shard Gram block rows computed service-side (or None).
+
+        The selection is gathered locally and shipped with each shard's
+        block request — Gram blocks need *every* selected row, which spans
+        shards on other hosts.  Returns None (degrade to serial) when the
+        service is unreachable.
+        """
+        session = self._remote_session()
+        if session is None:
+            return None
+        views = self.shard_views()
+        x = np.stack([views[s][local] for s, local in entries])
+        blocks = []
+        try:
+            for s, positions in enumerate(positions_by_shard):
+                if not positions:
                     continue
-                out += (np.asarray(weights_by_shard[s], dtype=self.dtype)
-                        @ shard._buf[np.asarray(locals_by_shard[s])])
-        return out
+                results = session.shard_batch(
+                    s, [{"op": "gram", "positions": positions, "x": x}])
+                blocks.append(np.asarray(results[0]))
+        except _remote_unavailable() as exc:
+            self._mark_remote_dead(exc)
+            return None
+        return blocks
 
     def cosine_matrix(self, rows: list[int] | None = None) -> np.ndarray:
         """Pairwise cosine similarity via per-shard Gram block rows.
@@ -800,12 +956,17 @@ class ShardedParamBank:
             positions_by_shard[s].append(i)
         backend = self.plan.backend_for(k * self.dim * self.dtype.itemsize)
         raw = np.empty((k, k), dtype=self.dtype)
+        if backend == "remote":
+            blocks = self._remote_gram_blocks(entries, positions_by_shard)
+            if blocks is None:
+                backend = "serial"
         if backend == "process":
-            tokens = self.shard_tokens()
-            tasks = [(tokens, entries, positions_by_shard[s])
-                     for s in range(len(self._shards)) if positions_by_shard[s]]
-            blocks = submit_shard_tasks(_task_gather_product, tasks, backend)
-        else:
+            ops_by_shard = [[("gram", entries, p)] if p else []
+                            for p in positions_by_shard]
+            results = submit_shard_op_batches(self.shard_tokens(),
+                                              ops_by_shard, backend)
+            blocks = [r[0] for r in results if r]
+        elif backend == "serial":
             views = self.shard_views()
             x = np.stack([views[s][local] for s, local in entries])
             tasks_pos = [p for p in positions_by_shard if p]
@@ -828,12 +989,13 @@ class ShardedParamBank:
         dtype = resolve_dtype(dtype)
         bank = ShardedParamBank(self.spec, dtype=dtype,
                                 capacity=max(self.n_slots, 1), plan=self.plan)
-        for src, dst in zip(self._shards, bank._shards):
+        for s, (src, dst) in enumerate(zip(self._shards, bank._shards)):
             n = src.n_slots
             dst._grow(max(n, 1))
             dst._buf[:n] = src._buf[:n].astype(dtype)
             dst._refs = list(src._refs)
             dst._free = list(src._free)
+            bank._dirty[s].update(range(n))
         bank._slots = list(self._slots)
         bank._free = list(self._free)
         bank._cursor = self._cursor
@@ -844,7 +1006,13 @@ class ShardedParamBank:
         return int(sum(shard.nbytes for shard in self._shards))
 
     def close(self) -> None:
-        """Unlink every shard's shared-memory segment (idempotent)."""
+        """Unlink every shard's segment and free remote mirrors (idempotent)."""
+        if self._remote is not None:
+            try:
+                self._remote.free()
+            except Exception:  # best-effort: the run is tearing down
+                pass
+            self._remote = None
         self._finalizer.detach()
         _close_shards(self._shards)
 

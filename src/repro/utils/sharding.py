@@ -33,11 +33,12 @@ from __future__ import annotations
 
 import atexit
 import os
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
-_BACKENDS = ("auto", "process", "serial")
+_BACKENDS = ("auto", "process", "serial", "remote")
 
 # Below this much per-operation data the pool's IPC round trip costs more
 # than the BLAS call it parallelizes (sub-millisecond kernels; see the
@@ -63,6 +64,12 @@ class ShardPlan:
       concurrently, attached zero-copy via shared memory.
     * ``"serial"``  — the parent computes each shard in order.  Numerically
       identical to ``"process"``; useful on starved machines and in tests.
+    * ``"remote"``  — shard mirrors live inside ``repro.net.shard_service``
+      daemons on ``hosts`` (shard ``s`` maps to ``hosts[s % len(hosts)]``);
+      per-shard partials are computed server-side and reduced over the wire
+      in ascending shard order, so results stay bitwise-identical to the
+      local backends.  A lost connection degrades to ``"serial"`` with a
+      one-line warning.
     * ``"auto"``    — ``"process"`` when the machine has more than one CPU,
       else ``"serial"`` (fan-out on one core only adds overhead).
 
@@ -73,6 +80,7 @@ class ShardPlan:
 
     shards: int = 1
     backend: str = "auto"
+    hosts: tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -80,6 +88,13 @@ class ShardPlan:
         if self.backend not in _BACKENDS:
             raise ValueError(
                 f"backend must be one of {_BACKENDS}; got '{self.backend}'")
+        object.__setattr__(self, "hosts", tuple(str(h) for h in self.hosts))
+        if self.backend == "remote" and not self.hosts:
+            raise ValueError("backend='remote' requires at least one host "
+                             "(e.g. hosts=('127.0.0.1:7700',) or --shard-hosts)")
+        if self.hosts and self.backend != "remote":
+            raise ValueError("hosts are only meaningful with backend='remote'; "
+                             f"got backend='{self.backend}'")
 
     @property
     def is_active(self) -> bool:
@@ -108,7 +123,10 @@ class ShardPlan:
         return backend
 
     def to_dict(self) -> dict:
-        return {"shards": self.shards, "backend": self.backend}
+        out = {"shards": self.shards, "backend": self.backend}
+        if self.hosts:  # omitted when empty so pre-remote plan files round-trip
+            out["hosts"] = list(self.hosts)
+        return out
 
     @classmethod
     def from_dict(cls, data) -> "ShardPlan":
@@ -153,34 +171,48 @@ def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
 
 _EXECUTOR = None
 _EXECUTOR_SIZE = 0
+_ATEXIT_REGISTERED = False
 
 
 def _shutdown_pool() -> None:
     global _EXECUTOR, _EXECUTOR_SIZE
     if _EXECUTOR is not None:
-        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        # wait=True drains workers before the interpreter (or a recreate)
+        # moves on — otherwise exit can race ShardedParamBank finalizers
+        # unlinking segments a worker still has mapped, and the shared
+        # resource tracker logs leaked-segment warnings.
+        _EXECUTOR.shutdown(wait=True, cancel_futures=True)
         _EXECUTOR = None
         _EXECUTOR_SIZE = 0
 
 
 def _get_executor(workers: int):
     """The process-wide worker pool, grown (recreated) on demand."""
-    global _EXECUTOR, _EXECUTOR_SIZE
+    global _EXECUTOR, _EXECUTOR_SIZE, _ATEXIT_REGISTERED
     workers = max(1, int(workers))
     if _EXECUTOR is None or _EXECUTOR_SIZE < workers:
         from concurrent.futures import ProcessPoolExecutor
         import multiprocessing as mp
 
         if _EXECUTOR is not None:
-            _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+            _EXECUTOR.shutdown(wait=True, cancel_futures=True)
         try:
             ctx = mp.get_context("fork")  # cheap on Linux; workers inherit numpy
         except ValueError:  # pragma: no cover - non-fork platforms
             ctx = mp.get_context("spawn")
         _EXECUTOR = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
         _EXECUTOR_SIZE = workers
-        atexit.register(_shutdown_pool)
+        if not _ATEXIT_REGISTERED:
+            # once per interpreter, not once per growth-recreate
+            atexit.register(_shutdown_pool)
+            _ATEXIT_REGISTERED = True
     return _EXECUTOR
+
+
+def _run_in_pool(fn, task_args: list[tuple]) -> list:
+    pool = _get_executor(len(task_args))
+    futures = [pool.submit(fn, *args) for args in task_args]
+    return [f.result() for f in futures]
 
 
 def submit_shard_tasks(fn, task_args: list[tuple], backend: str) -> list:
@@ -189,12 +221,29 @@ def submit_shard_tasks(fn, task_args: list[tuple], backend: str) -> list:
     ``backend="serial"`` executes in the parent loop; ``"process"`` fans out
     over the pool but still *collects* in submission (shard) order, so the
     two backends are interchangeable bit for bit.
+
+    A worker that dies mid-task poisons the whole pool and surfaces as
+    ``BrokenProcessPool`` on every future; one such failure rebuilds the
+    pool and retries, and a second consecutive failure degrades to the
+    serial backend for this call with a one-line warning instead of
+    killing the run.
     """
     if backend == "serial" or len(task_args) <= 1:
         return [fn(*args) for args in task_args]
-    pool = _get_executor(len(task_args))
-    futures = [pool.submit(fn, *args) for args in task_args]
-    return [f.result() for f in futures]
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        return _run_in_pool(fn, task_args)
+    except BrokenProcessPool:
+        _shutdown_pool()
+        try:
+            return _run_in_pool(fn, task_args)
+        except BrokenProcessPool:
+            _shutdown_pool()
+            warnings.warn("shard worker pool broke twice; running this "
+                          "submission on the serial backend", RuntimeWarning,
+                          stacklevel=2)
+            return [fn(*args) for args in task_args]
 
 
 # --------------------------------------------------------------------------
@@ -216,12 +265,26 @@ def _attach(token: ShardToken):
     return shm, arr
 
 
+def _matvec_partial(arr: np.ndarray, rows: list[int],
+                    weights: np.ndarray) -> np.ndarray:
+    """``w @ arr[rows]`` with the empty-selection case made explicit.
+
+    When ``n < shards`` some shards own no selected rows; ``np.asarray([])``
+    is float64 and would raise ``IndexError`` as an index, so an empty
+    selection short-circuits to the additive identity instead.
+    """
+    if not len(rows):
+        return np.zeros(arr.shape[1], dtype=arr.dtype)
+    index = np.asarray(rows, dtype=np.intp)
+    return np.asarray(weights, dtype=arr.dtype) @ arr[index]
+
+
 def _task_matvec(token: ShardToken, rows: list[int],
                  weights: np.ndarray) -> np.ndarray:
     """One shard's partial ``w @ M`` over its selected rows."""
     shm, arr = _attach(token)
     try:
-        return np.asarray(weights, dtype=arr.dtype) @ arr[np.asarray(rows)]
+        return _matvec_partial(arr, rows, weights)
     finally:
         del arr
         shm.close()
@@ -248,6 +311,75 @@ def _task_gather_product(tokens: list[ShardToken],
         del arrays
         for shm in shms:
             shm.close()
+
+
+# --------------------------------------------------------------------------
+# batched round submissions
+# --------------------------------------------------------------------------
+#
+# A round touches each shard many times: one aggregation matvec per stream
+# buffer, plus Gram blocks for matching/consolidation.  Submitting each op
+# individually pays one pool round trip per op; a *batch* ships all of one
+# shard's ops in a single submission and returns their results together, so
+# the IPC cost per round is O(shards), not O(ops x shards).  Ops execute in
+# list order against the same numpy kernels as the single-op tasks, so
+# batching never changes a single bit of the results.
+#
+# Op descriptors (plain tuples so they pickle cheaply):
+#   ("matvec", rows, weights)      -> partial ``w @ M`` on this shard
+#   ("gram", entries, positions)   -> this shard's Gram block rows; entries
+#                                     may reference any shard (lazily attached)
+
+
+def _apply_shard_op(arrays_for, shard: int, op: tuple):
+    kind = op[0]
+    if kind == "matvec":
+        _, rows, weights = op
+        return _matvec_partial(arrays_for(shard), rows, weights)
+    if kind == "gram":
+        _, entries, positions = op
+        x = np.stack([arrays_for(s)[r] for s, r in entries])
+        return x[np.asarray(positions)] @ x.T
+    raise ValueError(f"unknown shard op '{kind}'")
+
+
+def _task_run_shard_ops(tokens: list[ShardToken], shard: int,
+                        ops: list[tuple]) -> list:
+    """Execute all of one shard's ops in a single pool round trip."""
+    attached: dict[int, tuple] = {}
+
+    def arrays_for(s: int) -> np.ndarray:
+        if s not in attached:
+            attached[s] = _attach(tokens[s])
+        return attached[s][1]
+
+    try:
+        return [_apply_shard_op(arrays_for, shard, op) for op in ops]
+    finally:
+        pairs = list(attached.values())
+        attached.clear()
+        for shm, arr in pairs:
+            del arr
+            shm.close()
+
+
+def submit_shard_op_batches(tokens: list[ShardToken],
+                            ops_by_shard: list[list[tuple]],
+                            backend: str) -> list[list]:
+    """Run each shard's op list as one submission; results in op order.
+
+    Returns one result list per shard, positionally aligned with
+    ``ops_by_shard`` (shards with no ops get an empty list).  Like
+    :func:`submit_shard_tasks`, serial and process backends are
+    interchangeable bit for bit.
+    """
+    tasks = [(tokens, shard, ops)
+             for shard, ops in enumerate(ops_by_shard) if ops]
+    parts = submit_shard_tasks(_task_run_shard_ops, tasks, backend)
+    out: list[list] = [[] for _ in ops_by_shard]
+    for (_, shard, _ops), results in zip(tasks, parts):
+        out[shard] = results
+    return out
 
 
 def _task_mmd_chunk(x: np.ndarray, ys: list[np.ndarray],
@@ -283,6 +415,41 @@ def _task_ccmmd_many_chunk(xs: list[np.ndarray], xs_labels: list[np.ndarray],
                                               gamma, min_per_class)
 
 
+# Kernels a remote plan may run server-side.  The wire protocol ships kernel
+# *names* plus arrays — never code — and both the client and the service
+# resolve through this one allowlist, so the two sides cannot drift.
+REMOTE_KERNELS = {
+    "mmd_chunk": _task_mmd_chunk,
+    "ccmmd_chunk": _task_ccmmd_chunk,
+    "mmd_many_chunk": _task_mmd_many_chunk,
+    "ccmmd_many_chunk": _task_ccmmd_many_chunk,
+}
+
+_FALLBACK_WARNED: set[str] = set()
+
+
+def warn_remote_fallback(reason: str) -> None:
+    """One-line, once-per-reason warning when remote work degrades to serial."""
+    if reason not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(reason)
+        warnings.warn(f"shard service unavailable ({reason}); falling back "
+                      "to the serial backend", RuntimeWarning, stacklevel=3)
+
+
+def _run_kernel_chunks(fn, kernel: str, tasks: list[tuple],
+                       backend: str, plan: ShardPlan) -> list:
+    """Fan kernel chunks out per the backend; remote failures go serial."""
+    if backend == "remote":
+        from repro.net.client import ShardServiceUnavailable, run_kernel_tasks
+
+        try:
+            return run_kernel_tasks(plan.hosts, kernel, tasks)
+        except ShardServiceUnavailable as exc:
+            warn_remote_fallback(str(exc))
+            backend = "serial"
+    return submit_shard_tasks(fn, tasks, backend)
+
+
 # --------------------------------------------------------------------------
 # sharded scoring kernels (expert matching)
 # --------------------------------------------------------------------------
@@ -304,7 +471,8 @@ def sharded_mmd_to_many(x: np.ndarray, ys: list[np.ndarray],
     backend = plan.backend_for(x.nbytes + sum(y.nbytes for y in ys))
     ranges = shard_ranges(len(ys), plan.shards)
     tasks = [(x, ys[a:b], gamma) for a, b in ranges if b > a]
-    parts = submit_shard_tasks(_task_mmd_chunk, tasks, backend)
+    parts = _run_kernel_chunks(_task_mmd_chunk, "mmd_chunk", tasks,
+                               backend, plan)
     return np.concatenate(parts) if parts else np.zeros(0)
 
 
@@ -323,7 +491,8 @@ def sharded_class_conditional_mmd_to_many(
     ranges = shard_ranges(len(ys), plan.shards)
     tasks = [(x, x_labels, ys[a:b], ys_labels[a:b], gamma, min_per_class)
              for a, b in ranges if b > a]
-    parts = submit_shard_tasks(_task_ccmmd_chunk, tasks, backend)
+    parts = _run_kernel_chunks(_task_ccmmd_chunk, "ccmmd_chunk", tasks,
+                               backend, plan)
     return np.concatenate(parts) if parts else np.zeros(0)
 
 
@@ -343,7 +512,8 @@ def sharded_mmd_many_to_many(xs: list[np.ndarray], ys: list[np.ndarray],
                                + sum(y.nbytes for y in ys))
     ranges = shard_ranges(len(ys), plan.shards)
     tasks = [(xs, ys[a:b], gamma) for a, b in ranges if b > a]
-    parts = submit_shard_tasks(_task_mmd_many_chunk, tasks, backend)
+    parts = _run_kernel_chunks(_task_mmd_many_chunk, "mmd_many_chunk",
+                               tasks, backend, plan)
     if not parts:
         return np.zeros((len(xs), 0))
     return np.concatenate(parts, axis=1)
@@ -366,7 +536,8 @@ def sharded_class_conditional_mmd_many_to_many(
     ranges = shard_ranges(len(ys), plan.shards)
     tasks = [(xs, xs_labels, ys[a:b], ys_labels[a:b], gamma, min_per_class)
              for a, b in ranges if b > a]
-    parts = submit_shard_tasks(_task_ccmmd_many_chunk, tasks, backend)
+    parts = _run_kernel_chunks(_task_ccmmd_many_chunk, "ccmmd_many_chunk",
+                               tasks, backend, plan)
     if not parts:
         return np.zeros((len(xs), 0))
     return np.concatenate(parts, axis=1)

@@ -156,6 +156,61 @@ class TestAccounting:
         summary = ledger.summary()
         assert summary["total_mb"] > 0
 
+    def test_from_precision_sets_element_width(self):
+        from repro.utils.precision import PrecisionPlan
+
+        assert CommunicationLedger.from_precision(None).bytes_per_float == 8
+        f32 = CommunicationLedger.from_precision(
+            PrecisionPlan(params="float32"))
+        assert f32.bytes_per_float == 4
+        f32.record_model_download(1000, num_parties=3)
+        assert f32.downlink_bytes == 1000 * 4 * 3  # not the hardcoded 8
+        f64 = CommunicationLedger.from_precision(
+            PrecisionPlan(params="float64"))
+        f64.record_model_download(1000, num_parties=3)
+        assert f64.downlink_bytes == 2 * f32.downlink_bytes
+
+    def test_record_wire_is_verbatim_bytes(self):
+        ledger = CommunicationLedger(bytes_per_float=4)
+        ledger.record_wire("shard_service", 1500, 700)
+        assert ledger.uplink_bytes == 1500 and ledger.downlink_bytes == 700
+        summary = ledger.summary()
+        assert summary["shard_service_mb"] == pytest.approx(2200 / 1e6)
+        assert summary["uplink_bytes"] == 1500.0
+        assert summary["bytes_per_float"] == 4.0
+
+    def test_float32_run_reports_half_the_model_bytes(self):
+        """Acceptance pin: a float32 run's ledger shows exactly half the
+        model bytes of its float64 twin — no hardcoded 8-byte elements."""
+        import dataclasses
+
+        from repro.data.federated import FederatedShiftDataset
+        from repro.experiments.registry import build_strategy
+        from repro.harness.runner import run_strategy
+        from repro.utils.precision import PrecisionPlan
+        from tests.conftest import make_run_settings, make_tiny_spec
+
+        spec = make_tiny_spec(name="unit_ledger_dtype", num_parties=6,
+                              num_windows=2, window_regimes=(("fog", 4),),
+                              seed=53)
+        ds = FederatedShiftDataset(spec)
+        base = make_run_settings()
+        s64 = dataclasses.replace(
+            base, dtype=None, precision=PrecisionPlan(params="float64"))
+        s32 = dataclasses.replace(
+            base, dtype=None, precision=PrecisionPlan(params="float32"))
+        run64 = run_strategy(build_strategy("fedavg"), spec, s64, seed=0,
+                             dataset=ds).ledger_summary
+        run32 = run_strategy(build_strategy("fedavg"), spec, s32, seed=0,
+                             dataset=ds).ledger_summary
+        assert run64["bytes_per_float"] == 8.0
+        assert run32["bytes_per_float"] == 4.0
+        assert run64["model_down_mb"] > 0
+        assert run64["model_down_mb"] == 2 * run32["model_down_mb"]
+        assert run64["model_up_mb"] == 2 * run32["model_up_mb"]
+        assert run64["uplink_bytes"] == 2 * run32["uplink_bytes"]
+        assert run64["downlink_bytes"] == 2 * run32["downlink_bytes"]
+
     def test_profiler_phases(self):
         profiler = RuntimeProfiler()
         with profiler.phase("detection"):

@@ -59,7 +59,9 @@ def _full_plan() -> ExperimentPlan:
         seeds=(0, 1, 2), profile="small", name="full-schema",
         dtype="float32",
         precision=PrecisionPlan(params="float32"),
-        shards=2, secure_aggregation=True,
+        shards=2, shard_backend="remote",
+        shard_hosts=("10.0.0.11:7700", "10.0.0.12:7700"),
+        secure_aggregation=True,
         federation=federation,
         population=PopulationConfig(size=1000, max_resident=16, skew="zipf",
                                     zipf_a=1.5, survey=64),
@@ -100,8 +102,12 @@ class TestLosslessRoundTrip:
         assert loaded.shards == 2
         assert loaded.secure_aggregation is True
         assert loaded.settings_override.shards == 3
+        assert data["shard_backend"] == "remote"
+        assert data["shard_hosts"] == ["10.0.0.11:7700", "10.0.0.12:7700"]
         _spec, settings = loaded.resolve()
         assert settings.shards == 2  # plan-level knob wins over override
+        assert settings.shard_backend == "remote"
+        assert settings.shard_hosts == ("10.0.0.11:7700", "10.0.0.12:7700")
         assert settings.secure_aggregation is True
 
     def test_defaults_stay_omitted(self):
@@ -109,6 +115,7 @@ class TestLosslessRoundTrip:
         plan = ExperimentPlan.build("fashion_mnist_sim", ["fedavg"])
         data = plan.to_dict()
         for key in ("dtype", "precision", "federation", "shards",
+                    "shard_backend", "shard_hosts",
                     "secure_aggregation", "population", "cohort_size",
                     "spec_override", "settings_override"):
             assert key not in data

@@ -1,0 +1,367 @@
+"""Shard service: wire protocol, topology files, loopback remote backend.
+
+The remote backend's contract mirrors the process/serial one: for a fixed
+``ShardPlan`` every backend computes identical per-shard partials with the
+same numpy kernels and reduces them in ascending shard order, so
+``serial == process == remote`` **bitwise**.  A lost connection must degrade
+to the serial backend with a one-line warning instead of killing the run.
+"""
+
+import dataclasses
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.detection.mmd import class_conditional_mmd_to_many, mmd_to_many
+from repro.net import protocol
+from repro.net.client import (
+    RemoteBankSession,
+    ShardServiceError,
+    ShardServiceUnavailable,
+    parse_address,
+    run_kernel_tasks,
+    wire_totals,
+)
+from repro.net.shard_service import start_in_thread
+from repro.net.topology import HostSpec, ShardTopology, resolve_shard_hosts
+from repro.utils.params import ParamBank, ShardedParamBank
+from repro.utils.sharding import (
+    ShardPlan,
+    sharded_class_conditional_mmd_to_many,
+    sharded_mmd_to_many,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    handle = start_in_thread()
+    yield handle
+    handle.stop()
+
+
+def _param_sets(rng, n, shapes=((5, 3), (3,))):
+    return [[rng.normal(size=s) for s in shapes] for _ in range(n)]
+
+
+def _remote_plan(service, shards=3):
+    return ShardPlan(shards=shards, backend="remote",
+                     hosts=(service.address,))
+
+
+class TestProtocol:
+    def test_tree_round_trip(self):
+        arrays: list[np.ndarray] = []
+        tree = {
+            "name": "batch",
+            "count": 3,
+            "ratio": 0.5,
+            "flag": True,
+            "none": None,
+            "ops": [
+                {"op": "matvec", "rows": [0, 2],
+                 "weights": np.arange(4.0, dtype=np.float32)},
+                {"op": "gram", "x": np.eye(3)},
+            ],
+        }
+        encoded = protocol.encode_tree(tree, arrays)
+        assert len(arrays) == 2
+        decoded = protocol.decode_tree(encoded, arrays)
+        assert decoded["name"] == "batch" and decoded["count"] == 3
+        assert decoded["none"] is None and decoded["flag"] is True
+        np.testing.assert_array_equal(decoded["ops"][0]["weights"],
+                                      np.arange(4.0, dtype=np.float32))
+        assert decoded["ops"][0]["weights"].dtype == np.float32
+        np.testing.assert_array_equal(decoded["ops"][1]["x"], np.eye(3))
+
+    def test_numpy_scalars_become_python(self):
+        arrays: list[np.ndarray] = []
+        encoded = protocol.encode_tree({"n": np.int64(7),
+                                        "f": np.float64(2.5)}, arrays)
+        assert encoded == {"n": 7, "f": 2.5} and not arrays
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            protocol.encode_tree({"bad": {1, 2}}, [])
+
+    def test_socket_framing_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = [np.arange(6.0).reshape(2, 3), np.zeros(0)]
+            sent = protocol.send_message(a, {"cmd": "ping", "k": 1}, payload)
+            header, arrays, received = protocol.recv_message(b)
+            assert sent == received
+            assert header["cmd"] == "ping" and header["k"] == 1
+            np.testing.assert_array_equal(arrays[0], payload[0])
+            assert arrays[1].shape == (0,)
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_is_protocol_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"NOPE" + b"\x00" * 16)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestTopology:
+    def test_parse_address(self):
+        assert parse_address("10.0.0.1:7700") == ("10.0.0.1", 7700)
+        for bad in ("localhost", "host:", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+    def test_toml_file(self, tmp_path):
+        path = tmp_path / "topology.toml"
+        path.write_text(
+            '[[hosts]]\naddress = "10.0.0.11:7700"\nrole = "shards"\n\n'
+            '[[hosts]]\naddress = "10.0.0.12:7700"\n\n'
+            '[[hosts]]\naddress = "10.0.0.10:7700"\nrole = "coordinator"\n')
+        topo = ShardTopology.from_file(path)
+        assert topo.shard_hosts() == ("10.0.0.11:7700", "10.0.0.12:7700")
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "topology.json"
+        path.write_text(json.dumps({"hosts": [
+            "10.0.0.11:7700",
+            {"address": "10.0.0.10:7700", "role": "coordinator"},
+        ]}))
+        assert ShardTopology.from_file(path).shard_hosts() == \
+            ("10.0.0.11:7700",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostSpec(address="not-an-address")
+        with pytest.raises(ValueError):
+            HostSpec(address="h:1", role="gpu")
+        with pytest.raises(ValueError):  # coordinator-only topology
+            ShardTopology(hosts=(HostSpec("h:1", role="coordinator"),))
+        with pytest.raises(ValueError):
+            ShardTopology.from_mapping({"hosts": []})
+
+    def test_resolve_forms(self, tmp_path):
+        assert resolve_shard_hosts(None) == ()
+        assert resolve_shard_hosts("") == ()
+        assert resolve_shard_hosts("a:1, b:2") == ("a:1", "b:2")
+        assert resolve_shard_hosts(["a:1", "b:2"]) == ("a:1", "b:2")
+        topo = ShardTopology(hosts=(HostSpec("a:1"),))
+        assert resolve_shard_hosts(topo) == ("a:1",)
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"hosts": ["c:3"]}))
+        assert resolve_shard_hosts(str(path)) == ("c:3",)
+
+    def test_resolve_rejects_malformed_addresses(self):
+        # A typo'd --shard-hosts must fail at resolve time, not surface
+        # later as a confusing connection error (or ride along unused).
+        with pytest.raises(ValueError, match="host:port"):
+            resolve_shard_hosts("not-an-address")
+        with pytest.raises(ValueError, match="host:port"):
+            resolve_shard_hosts(["a:1", "b"])
+
+
+class TestLoopbackService:
+    def test_session_round_trip_and_wire_metering(self, service, rng):
+        data = rng.normal(size=(4, 6))
+        weights = rng.uniform(1.0, 2.0, size=3)
+        sent0, received0 = wire_totals()
+        session = RemoteBankSession((service.address,), shards=1, dim=6,
+                                    dtype="float64", capacity=4)
+        results = session.shard_batch(0, [
+            {"op": "write_rows", "rows": [0, 1, 2, 3], "data": data},
+            {"op": "matvec", "rows": [0, 2, 3], "weights": weights},
+            {"op": "matvec", "rows": [], "weights": np.zeros(0)},
+        ])
+        np.testing.assert_array_equal(results[1],
+                                      weights @ data[[0, 2, 3]])
+        np.testing.assert_array_equal(results[2], np.zeros(6))
+        session.free()
+        sent1, received1 = wire_totals()
+        assert sent1 > sent0 and received1 > received0
+
+    def test_kernel_fanout_matches_local(self, service, rng):
+        x = rng.normal(size=(20, 5))
+        ys = [rng.normal(size=(8 + i, 5)) for i in range(4)]
+        tasks = [(x, ys[:2], 0.3), (x, ys[2:], 0.3)]
+        remote = run_kernel_tasks((service.address,), "mmd_chunk", tasks)
+        local = [mmd_to_many(*t) for t in tasks]
+        for got, want in zip(remote, local):
+            np.testing.assert_array_equal(got, want)
+
+    def test_command_error_keeps_connection(self, service):
+        session = RemoteBankSession((service.address,), shards=1, dim=2,
+                                    dtype="float64")
+        with pytest.raises(ShardServiceError):
+            session.shard_batch(0, [{"op": "kernel", "name": "no-such-kernel",
+                                     "args": []}])
+        # the connection survives a rejected command
+        results = session.shard_batch(0, [
+            {"op": "matvec", "rows": [], "weights": np.zeros(0)}])
+        np.testing.assert_array_equal(results[0], np.zeros(2))
+        session.free()
+
+    def test_unreachable_host_is_unavailable(self):
+        with pytest.raises(ShardServiceUnavailable):
+            RemoteBankSession(("127.0.0.1:9",), shards=1, dim=2,
+                              dtype="float64", timeout=0.5)
+        with pytest.raises(ShardServiceUnavailable):
+            run_kernel_tasks((), "mmd_chunk", [])
+
+
+class TestRemoteBackendBitwise:
+    """remote == serial == process, bit for bit, on every sharded kernel."""
+
+    def test_weighted_combine_and_cosine(self, service, rng):
+        sets = _param_sets(rng, 7)
+        rows = list(range(7))
+        weights = rng.uniform(0.5, 3.0, size=7)
+        serial = ShardedParamBank.from_param_sets(
+            sets, plan=ShardPlan(shards=3, backend="serial"))
+        remote = ShardedParamBank.from_param_sets(
+            sets, plan=_remote_plan(service))
+        assert np.array_equal(remote.weighted_combine(weights, rows),
+                              serial.weighted_combine(weights, rows))
+        assert np.array_equal(remote.cosine_matrix(rows),
+                              serial.cosine_matrix(rows))
+        sub = [1, 4, 6]
+        assert np.array_equal(
+            remote.weighted_combine(weights[:3], sub),
+            serial.weighted_combine(weights[:3], sub))
+        serial.close()
+        remote.close()
+
+    def test_combine_many_batches_in_one_submission(self, service, rng):
+        sets = _param_sets(rng, 6)
+        serial = ShardedParamBank.from_param_sets(
+            sets, plan=ShardPlan(shards=2, backend="serial"))
+        remote = ShardedParamBank.from_param_sets(
+            sets, plan=_remote_plan(service, shards=2))
+        rows_sets = [list(range(6)), [0, 2, 4], [5, 1]]
+        weight_sets = [rng.uniform(1, 4, size=len(r)) for r in rows_sets]
+        want = serial.weighted_combine_many(
+            weight_sets, [None, rows_sets[1], rows_sets[2]])
+        got = remote.weighted_combine_many(
+            weight_sets, [None, rows_sets[1], rows_sets[2]])
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+        serial.close()
+        remote.close()
+
+    def test_writes_resync_the_mirror(self, service, rng):
+        sets = _param_sets(rng, 4)
+        bank = ShardedParamBank.from_param_sets(
+            sets, plan=_remote_plan(service, shards=2))
+        weights = np.ones(4)
+        first = bank.weighted_combine(weights, [0, 1, 2, 3])
+        views = bank.row_params(1)
+        views[0][:] = 123.0  # dirty row 1 through a writeable view
+        bank.write_row(2, sets[3])
+        second = bank.weighted_combine(weights, [0, 1, 2, 3])
+        serial = ShardedParamBank.from_param_sets(
+            sets, plan=ShardPlan(shards=2, backend="serial"))
+        serial_views = serial.row_params(1)
+        serial_views[0][:] = 123.0
+        serial.write_row(2, sets[3])
+        assert not np.array_equal(first, second)
+        assert np.array_equal(second,
+                              serial.weighted_combine(weights, [0, 1, 2, 3]))
+        bank.close()
+        serial.close()
+
+    def test_mmd_kernels_bitwise(self, service, rng):
+        x = rng.normal(size=(24, 6))
+        xl = rng.integers(0, 3, size=24)
+        ys = [rng.normal(size=(10, 6)) + i for i in range(5)]
+        yls = [rng.integers(0, 3, size=10) for _ in range(5)]
+        serial_plan = ShardPlan(shards=2, backend="serial")
+        remote_plan = _remote_plan(service, shards=2)
+        assert np.array_equal(
+            sharded_mmd_to_many(x, ys, 0.2, remote_plan),
+            sharded_mmd_to_many(x, ys, 0.2, serial_plan))
+        assert np.array_equal(
+            sharded_class_conditional_mmd_to_many(x, xl, ys, yls, 0.2,
+                                                  remote_plan),
+            sharded_class_conditional_mmd_to_many(x, xl, ys, yls, 0.2,
+                                                  serial_plan))
+
+    def test_matches_unsharded_to_reassociation(self, service, rng):
+        sets = _param_sets(rng, 8)
+        plain = ParamBank.from_param_sets(sets)
+        remote = ShardedParamBank.from_param_sets(
+            sets, plan=_remote_plan(service))
+        rows = list(range(8))
+        weights = rng.uniform(0.5, 4.0, size=8)
+        np.testing.assert_allclose(remote.weighted_combine(weights, rows),
+                                   plain.weighted_combine(weights, rows),
+                                   rtol=1e-12, atol=1e-14)
+        remote.close()
+
+
+class TestConnectionDropFallback:
+    def test_drop_degrades_to_serial_with_one_warning(self, rng):
+        from repro.utils import sharding
+
+        handle = start_in_thread()
+        sets = _param_sets(rng, 6)
+        weights = rng.uniform(1.0, 3.0, size=6)
+        rows = list(range(6))
+        serial = ShardedParamBank.from_param_sets(
+            sets, plan=ShardPlan(shards=2, backend="serial"))
+        bank = ShardedParamBank.from_param_sets(
+            sets, plan=ShardPlan(shards=2, backend="remote",
+                                 hosts=(handle.address,)))
+        try:
+            before = bank.weighted_combine(weights, rows)
+            assert np.array_equal(before,
+                                  serial.weighted_combine(weights, rows))
+            handle.stop()  # injected outage: every shard host goes away
+            sharding._FALLBACK_WARNED.clear()
+            with pytest.warns(RuntimeWarning, match="shard service"):
+                after = bank.weighted_combine(weights, rows)
+            assert np.array_equal(after, before)
+            # dead session stays dead: later calls are serial, warning-free
+            cos = bank.cosine_matrix(rows)
+            assert np.array_equal(cos, serial.cosine_matrix(rows))
+        finally:
+            bank.close()
+            serial.close()
+            handle.stop()
+
+    def test_kernel_outage_degrades_to_serial(self, rng):
+        from repro.utils import sharding
+
+        sharding._FALLBACK_WARNED.clear()
+        x = rng.normal(size=(20, 5))
+        ys = [rng.normal(size=(8, 5)) for _ in range(4)]
+        plan = ShardPlan(shards=2, backend="remote",
+                         hosts=("127.0.0.1:9",))  # nothing listens there
+        with pytest.warns(RuntimeWarning, match="shard service"):
+            got = sharded_mmd_to_many(x, ys, 0.3, plan)
+        np.testing.assert_array_equal(
+            got, sharded_mmd_to_many(
+                x, ys, 0.3, ShardPlan(shards=2, backend="serial")))
+
+
+class TestRunSettingsRemote:
+    def test_shard_hosts_thread_through(self, tmp_path):
+        from tests.conftest import make_run_settings
+
+        base = make_run_settings()
+        settings = dataclasses.replace(base, shards=2,
+                                       shard_backend="remote",
+                                       shard_hosts="h1:7700,h2:7700")
+        assert settings.shard_hosts == ("h1:7700", "h2:7700")
+        assert settings.shard_plan.hosts == ("h1:7700", "h2:7700")
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps({"hosts": ["h3:7700"]}))
+        from_file = dataclasses.replace(base, shards=2,
+                                        shard_backend="remote",
+                                        shard_hosts=str(path))
+        assert from_file.shard_plan.hosts == ("h3:7700",)
+        with pytest.raises(ValueError):  # hosts without the remote backend
+            dataclasses.replace(base, shards=2, shard_hosts="h1:7700")

@@ -17,6 +17,7 @@ sharding work:
 """
 
 import dataclasses
+import warnings
 
 import numpy as np
 import pytest
@@ -68,6 +69,23 @@ class TestShardPlan:
             ShardPlan(shards=0)
         with pytest.raises(ValueError):
             ShardPlan(backend="threads")
+
+    def test_remote_host_pairing(self):
+        with pytest.raises(ValueError):  # remote needs hosts
+            ShardPlan(shards=2, backend="remote")
+        with pytest.raises(ValueError):  # hosts need remote
+            ShardPlan(shards=2, backend="process", hosts=("h:1",))
+        plan = ShardPlan(shards=2, backend="remote", hosts=["h:1", "h:2"])
+        assert plan.hosts == ("h:1", "h:2")
+        assert plan.resolved_backend() == "remote"
+
+    def test_remote_serialization_round_trip(self):
+        plan = ShardPlan(shards=3, backend="remote", hosts=("h:1",))
+        data = plan.to_dict()
+        assert data == {"shards": 3, "backend": "remote", "hosts": ["h:1"]}
+        assert ShardPlan.from_dict(data) == plan
+        # pre-remote plan dicts stay host-free so old files round-trip
+        assert "hosts" not in SERIAL2.to_dict()
 
     def test_resolution(self):
         assert resolve_shard_plan(None) == ShardPlan()
@@ -216,6 +234,151 @@ class TestProcessBackend:
         cc_process = sharded_class_conditional_mmd_to_many(
             x, xl, ys, yls, 0.2, ShardPlan(shards=2, backend="process"))
         assert np.array_equal(cc_serial, cc_process)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestPoolLifecycle:
+    """Crash paths and executor hygiene for the shard worker pool."""
+
+    def test_broken_pool_rebuilds_once_silently(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.utils import sharding
+
+        attempts = []
+
+        def flaky_run(fn, task_args):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise BrokenProcessPool("worker died")
+            return [fn(*args) for args in task_args]
+
+        shutdowns = []
+        monkeypatch.setattr(sharding, "_run_in_pool", flaky_run)
+        monkeypatch.setattr(sharding, "_shutdown_pool",
+                            lambda: shutdowns.append(1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a silent retry, not a warning
+            out = sharding.submit_shard_tasks(
+                _double, [(1,), (2,), (3,)], "process")
+        assert out == [2, 4, 6]
+        assert len(attempts) == 2 and len(shutdowns) == 1
+
+    def test_always_broken_pool_degrades_serial_with_warning(self,
+                                                             monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.utils import sharding
+
+        def broken_run(fn, task_args):
+            raise BrokenProcessPool("worker died")
+
+        shutdowns = []
+        monkeypatch.setattr(sharding, "_run_in_pool", broken_run)
+        monkeypatch.setattr(sharding, "_shutdown_pool",
+                            lambda: shutdowns.append(1))
+        with pytest.warns(RuntimeWarning, match="broke twice"):
+            out = sharding.submit_shard_tasks(
+                _double, [(1,), (2,), (3,)], "process")
+        assert out == [2, 4, 6]
+        assert len(shutdowns) == 2
+
+    def test_atexit_registered_once_across_growth(self, monkeypatch):
+        from repro.utils import sharding
+
+        registered = []
+        monkeypatch.setattr(sharding, "_EXECUTOR", None)
+        monkeypatch.setattr(sharding, "_EXECUTOR_SIZE", 0)
+        monkeypatch.setattr(sharding, "_ATEXIT_REGISTERED", False)
+        monkeypatch.setattr(sharding.atexit, "register",
+                            lambda fn: registered.append(fn))
+        try:
+            first = sharding._get_executor(1)
+            grown = sharding._get_executor(2)  # growth recreates the pool
+            assert grown is not first
+            assert registered == [sharding._shutdown_pool]
+            # the replaced pool was shut down, not leaked
+            with pytest.raises(RuntimeError):
+                first.submit(_double, 1)
+        finally:
+            sharding._shutdown_pool()  # drop the test-local executor
+
+
+class TestBatchedSubmissions:
+    """One submission per shard reproduces per-op dispatch bitwise."""
+
+    def test_empty_selection_partial_is_zero(self):
+        arr = np.arange(12.0).reshape(4, 3)
+        from repro.utils.sharding import _matvec_partial
+
+        out = _matvec_partial(arr, [], np.asarray([]))
+        assert out.shape == (3,) and out.dtype == arr.dtype
+        assert np.array_equal(out, np.zeros(3))
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_fewer_rows_than_shards(self, rng, backend):
+        """n < shards leaves empty shards; the matvec must survive them."""
+        sets = _param_sets(rng, 2)
+        plain = ParamBank.from_param_sets(sets)
+        bank = ShardedParamBank.from_param_sets(
+            sets, plan=ShardPlan(shards=4, backend=backend))
+        weights = rng.uniform(1.0, 2.0, size=2)
+        np.testing.assert_allclose(bank.weighted_combine(weights, [0, 1]),
+                                   plain.weighted_combine(weights, [0, 1]),
+                                   rtol=1e-12, atol=1e-14)
+        single = bank.weighted_combine([3.0], [1])
+        np.testing.assert_allclose(single, plain.weighted_combine([3.0], [1]),
+                                   rtol=1e-12, atol=1e-14)
+        bank.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_op_batches_match_per_op_dispatch(self, rng, backend):
+        from repro.utils.sharding import (
+            _task_matvec,
+            submit_shard_op_batches,
+            submit_shard_tasks,
+        )
+
+        sets = _param_sets(rng, 6)
+        bank = ShardedParamBank.from_param_sets(sets, plan=SERIAL3)
+        tokens = bank.shard_tokens()
+        selections = [list(range(6)), [0, 3], [5, 2, 4]]
+        prepared = [bank._prepare_combine(rng.uniform(1, 3, size=len(r)), r)
+                    for r in selections]
+        ops_by_shard = [[] for _ in tokens]
+        for _, locals_by_shard, weights_by_shard in prepared:
+            for s, (rows, w) in enumerate(zip(locals_by_shard,
+                                              weights_by_shard)):
+                ops_by_shard[s].append(("matvec", rows, w))
+        batched = submit_shard_op_batches(tokens, ops_by_shard, backend)
+        for s, ops in enumerate(ops_by_shard):
+            per_op = submit_shard_tasks(
+                _task_matvec, [(tokens[s], rows, w) for _, rows, w in ops],
+                backend)
+            for got, want in zip(batched[s], per_op):
+                assert np.array_equal(got, want)
+        bank.close()
+
+    def test_combine_many_matches_sequential_combines(self, rng):
+        sets = _param_sets(rng, 6)
+        bank = ShardedParamBank.from_param_sets(sets, plan=SERIAL3)
+        rows_sets = [list(range(6)), [0, 2, 4], None]
+        weight_sets = [rng.uniform(1, 4, size=6 if r is None else len(r))
+                       for r in rows_sets]
+        many = bank.weighted_combine_many(weight_sets, rows_sets)
+        for w, r, got in zip(weight_sets, rows_sets, many):
+            assert np.array_equal(got, bank.weighted_combine(w, r))
+        # ParamBank grows the same batched entry point
+        plain = ParamBank.from_param_sets(sets)
+        plain_many = plain.weighted_combine_many(weight_sets, rows_sets)
+        for got, want in zip(plain_many,
+                             (plain.weighted_combine(w, r)
+                              for w, r in zip(weight_sets, rows_sets))):
+            assert np.array_equal(got, want)
+        bank.close()
 
 
 class TestShardedScoring:
