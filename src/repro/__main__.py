@@ -5,7 +5,10 @@ Commands
 * ``compare``  — run any registered strategies over a simulated dataset and
   print the paper-style Drop/Time/Max table (``--jobs N`` fans the
   strategy x seed grid over processes);
-* ``run``      — execute a saved experiment plan (JSON or TOML);
+* ``run``      — execute a saved experiment plan (JSON or TOML) or a
+  declarative scenario document (``--scenario-file``);
+* ``scenarios`` — ``validate`` a scenario file or ``sample`` seeded
+  documents from the fuzz generator (see ``docs/SCENARIOS.md``);
 * ``methods``  — list the strategy registry;
 * ``datasets`` — list the simulated datasets and their shift schedules;
 * ``inspect``  — show a dataset spec's schedule window by window.
@@ -14,14 +17,24 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.data.registry import build_shift_schedule, dataset_names, get_dataset_spec
 from repro.federation.aggregation import STALENESS_POLICIES
 from repro.federation.async_engine import PARTICIPATION_MODES, FederationConfig
-from repro.federation.availability import SCENARIOS, AvailabilityConfig
+from repro.federation.availability import SCENARIOS
 from repro.federation.pool import PARTICIPATION_SKEWS, PopulationConfig
+from repro.scenarios import (
+    ScenarioGenerator,
+    compile_scenario,
+    federation_from_knobs,
+    lint_scenario,
+    load_scenario,
+    population_from_knobs,
+    save_scenario,
+)
 from repro.experiments import (
     ExperimentPlan,
     ParallelExecutor,
@@ -102,59 +115,35 @@ def _save_runs(result, output_dir: str) -> None:
 
 
 def _federation_from_args(args) -> FederationConfig | None:
-    """A FederationConfig when any participation flag was given, else None."""
-    flags = (args.participation, args.scenario, args.dropout, args.straggler,
-             args.outage, args.min_reports, args.max_wait,
-             args.staleness_policy)
-    if all(f is None for f in flags):
-        return None
-    buffering_flags = (args.min_reports is not None
-                       or args.max_wait is not None
-                       or args.staleness_policy is not None)
-    if args.participation in (None, "sync") and buffering_flags:
-        print("warning: --min-reports/--max-wait/--staleness-policy only "
-              "affect --participation buffered/async; synchronous rounds "
-              "ignore them", file=sys.stderr)
-    availability = AvailabilityConfig.scenario(args.scenario or "none")
-    overrides = {}
-    if args.dropout is not None:
-        overrides["dropout_prob"] = args.dropout
-    if args.straggler is not None:
-        overrides["straggler_prob"] = args.straggler
-    if args.outage is not None:
-        overrides["outage_prob"] = args.outage
-    if overrides:
-        import dataclasses
-        availability = dataclasses.replace(availability, **overrides)
-    return FederationConfig(
-        mode=args.participation or "sync",
-        min_reports=args.min_reports,
-        max_wait_rounds=args.max_wait if args.max_wait is not None else 1,
-        staleness_policy=args.staleness_policy or "constant",
-        availability=availability,
-    )
+    """A FederationConfig when any participation flag was given, else None.
+
+    The flag-to-config mapping itself lives in
+    :func:`repro.scenarios.compiler.federation_from_knobs`, shared with the
+    scenario compiler so flags and ``[availability]`` blocks cannot drift.
+    """
+    config, warnings = federation_from_knobs(
+        participation=args.participation, preset=args.scenario,
+        dropout=args.dropout, straggler=args.straggler, outage=args.outage,
+        min_reports=args.min_reports, max_wait=args.max_wait,
+        staleness_policy=args.staleness_policy)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return config
 
 
 def _population_from_args(args) -> PopulationConfig | None:
     """A PopulationConfig when any population flag was given, else None."""
-    dependents = (args.max_resident, args.participation_skew, args.zipf_a,
-                  args.survey_parties)
-    if args.population is None:
-        if any(f is not None for f in dependents):
+    try:
+        return population_from_knobs(
+            size=args.population, max_resident=args.max_resident,
+            skew=args.participation_skew, zipf_a=args.zipf_a,
+            survey=args.survey_parties)
+    except ValueError:
+        if args.population is None:  # dependents without --population
             raise ValueError(
                 "--max-resident/--participation-skew/--zipf-a/"
-                "--survey-parties require --population")
-        return None
-    kwargs = {"size": args.population}
-    if args.max_resident is not None:
-        kwargs["max_resident"] = args.max_resident
-    if args.participation_skew is not None:
-        kwargs["skew"] = args.participation_skew
-    if args.zipf_a is not None:
-        kwargs["zipf_a"] = args.zipf_a
-    if args.survey_parties is not None:
-        kwargs["survey"] = args.survey_parties
-    return PopulationConfig(**kwargs)
+                "--survey-parties require --population") from None
+        raise
 
 
 def _add_population_args(parser) -> None:
@@ -252,17 +241,25 @@ def cmd_compare(args) -> int:
 
 
 def cmd_run(args) -> int:
+    if (args.plan is None) == (args.scenario_file is None):
+        print("run takes exactly one input: a plan file, or "
+              "--scenario-file", file=sys.stderr)
+        return 2
+    source = args.plan if args.plan is not None else args.scenario_file
     try:
-        plan = load_plan(args.plan)
-    except (FileNotFoundError, ValueError, TypeError) as exc:
-        print(str(exc), file=sys.stderr)
+        if args.scenario_file is not None:
+            plan = compile_scenario(load_scenario(args.scenario_file))
+        else:
+            plan = load_plan(args.plan)
+    except (FileNotFoundError, ValueError, TypeError, KeyError) as exc:
+        print(str(exc).strip("'\""), file=sys.stderr)
         return 2
     unknown = {s.method or s.label for s in plan.strategies} - set(strategy_names())
     if unknown:
         print(f"plan references unregistered methods: {sorted(unknown)}; "
               f"available: {strategy_names()}", file=sys.stderr)
         return 2
-    label = plan.name or Path(args.plan).stem
+    label = plan.name or Path(source).stem
     print(f"running plan '{label}': {[s.label for s in plan.strategies]} on "
           f"{plan.dataset} (profile={plan.profile}, seeds={plan.seeds}, "
           f"jobs={args.jobs}) ...", flush=True)
@@ -277,6 +274,50 @@ def cmd_run(args) -> int:
                   title=f"{plan.dataset}: Drop / Recovery Time / Max Accuracy")
     if args.output_dir:
         _save_runs(result, args.output_dir)
+    return 0
+
+
+def cmd_scenarios_validate(args) -> int:
+    try:
+        doc = load_scenario(args.file)
+        plan = compile_scenario(doc)
+        spec, settings = plan.resolve()
+    except (FileNotFoundError, ValueError, TypeError, KeyError) as exc:
+        print(str(exc).strip("'\""), file=sys.stderr)
+        return 2
+    for warning in lint_scenario(doc):
+        print(f"warning: {warning}", file=sys.stderr)
+    strategies = [s.label for s in plan.strategies]
+    print(f"{args.file}: ok")
+    print(f"  dataset:    {plan.dataset} ({spec.num_parties} parties, "
+          f"{spec.num_windows} windows)")
+    print(f"  strategies: {strategies} x seeds {list(plan.seeds)}")
+    print(f"  rounds:     burn_in={settings.rounds_burn_in} "
+          f"per_window={settings.rounds_per_window} "
+          f"participants={settings.round_config.participants_per_round}")
+    mode = (settings.federation.mode if settings.federation is not None
+            else "sync")
+    print(f"  federation: {mode}")
+    if spec.drift:
+        for entry in spec.drift:
+            print(f"  drift:      {entry.arrival} {entry.corruption}"
+                  f"@{entry.severity} fraction={entry.fraction} "
+                  f"start=W{entry.start_window} "
+                  f"phase_offset<={entry.max_phase_offset}")
+    return 0
+
+
+def cmd_scenarios_sample(args) -> int:
+    generator = ScenarioGenerator(seed=args.seed)
+    docs = generator.corpus(args.count, start=args.start)
+    if args.output_dir is None:
+        print(json.dumps([doc.to_dict() for doc in docs], indent=2))
+        return 0
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for doc in docs:
+        path = save_scenario(out / f"{doc.name}.json", doc)
+        print(path)
     return 0
 
 
@@ -354,8 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.set_defaults(func=cmd_compare)
 
     p_run = subparsers.add_parser(
-        "run", help="execute a saved experiment plan (JSON or TOML)")
-    p_run.add_argument("plan", help="path to the plan file")
+        "run", help="execute a saved experiment plan or scenario file")
+    p_run.add_argument("plan", nargs="?", default=None,
+                       help="path to the plan file (JSON or TOML)")
+    p_run.add_argument("--scenario-file", default=None, metavar="FILE",
+                       help="compile and run a scenario document instead of "
+                            "a plan (TOML or JSON; see docs/SCENARIOS.md)")
     p_run.add_argument("--jobs", type=int, default=1,
                        help="run the strategy x seed grid over N processes")
     p_run.add_argument("--progress", action="store_true",
@@ -363,6 +408,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--output-dir", default=None,
                        help="write per-run JSON results here")
     p_run.set_defaults(func=cmd_run)
+
+    p_scenarios = subparsers.add_parser(
+        "scenarios", help="validate or sample declarative scenario files")
+    scenario_subs = p_scenarios.add_subparsers(dest="scenario_command",
+                                               required=True)
+    p_validate = scenario_subs.add_parser(
+        "validate", help="check a scenario file and print its resolved shape")
+    p_validate.add_argument("file", help="scenario file (TOML or JSON)")
+    p_validate.set_defaults(func=cmd_scenarios_validate)
+    p_sample = scenario_subs.add_parser(
+        "sample", help="emit seeded documents from the scenario fuzzer")
+    p_sample.add_argument("--seed", type=int, default=0,
+                          help="generator seed (default 0, the CI corpus)")
+    p_sample.add_argument("--start", type=int, default=0,
+                          help="first corpus index to emit (default 0)")
+    p_sample.add_argument("--count", type=int, default=1,
+                          help="how many documents to emit (default 1)")
+    p_sample.add_argument("--output-dir", default=None, metavar="DIR",
+                          help="write one JSON file per document here "
+                               "instead of printing to stdout")
+    p_sample.set_defaults(func=cmd_scenarios_sample)
     return parser
 
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.data.corruptions import CORRUPTIONS
+from repro.data.drift import CohortDrift, validate_drift_plan
 from repro.data.partition import dirichlet_label_priors, shift_prior
 from repro.utils.rng import spawn_rng
 
@@ -48,7 +49,18 @@ class RegimeAssignment:
 
 @dataclass(frozen=True)
 class DatasetSpec:
-    """Static description of a simulated federated dataset."""
+    """Static description of a simulated federated dataset.
+
+    ``drift`` optionally replaces the legacy every-window 50 %-jump shift
+    assignment with a declarative per-cohort schedule (see
+    :mod:`repro.data.drift`): each :class:`~repro.data.drift.CohortDrift`
+    entry claims a seeded slice of the population and describes *how* its
+    shift arrives (sudden / gradual / recurring / class-incremental, with
+    per-party phase offsets).  The default empty tuple keeps the historical
+    ``window_regimes``-driven schedule bit for bit; when ``drift`` is
+    non-empty, ``window_regimes`` is ignored by the schedule builder (it
+    still sizes validation, so compilers synthesize a placeholder).
+    """
 
     name: str
     paper_name: str
@@ -68,8 +80,12 @@ class DatasetSpec:
     test_per_window: int = 24
     domain_noise_scale: float = 0.22  # per-sample pixel noise of the image domain
     seed: int = 7
+    drift: tuple[CohortDrift, ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "drift", tuple(
+            CohortDrift.from_value(d) for d in self.drift))
+        validate_drift_plan(self.drift, num_windows=self.num_windows)
         if self.windowing not in ("tumbling", "sliding"):
             raise ValueError("windowing must be 'tumbling' or 'sliding'")
         if len(self.window_regimes) != self.num_windows - 1:
@@ -141,7 +157,14 @@ def build_shift_schedule(spec: DatasetSpec) -> ShiftSchedule:
     skewed label prior); the rest keep their previous assignment.  Regime ids
     are shared across windows for identical (corruption, severity) pairs, so
     recurring regimes are *the same regime* — the hook for expert reuse.
+
+    When ``spec.drift`` is non-empty the legacy assignment above is replaced
+    wholesale by the declarative per-cohort schedule (see
+    :func:`build_drift_schedule`); registered datasets never set ``drift``,
+    so their schedules are bit-for-bit the historical ones.
     """
+    if spec.drift:
+        return build_drift_schedule(spec)
     rng = spawn_rng(spec.seed, "schedule", spec.name)
     regime_ids: dict[tuple[str, int], int] = {_CLEAN: 0}
 
@@ -176,6 +199,98 @@ def build_shift_schedule(spec: DatasetSpec) -> ShiftSchedule:
         schedule.regimes.append(list(current_regimes))
         schedule.label_priors.append(current_priors.copy())
         schedule.shifted_parties.append(shifted_set)
+    return schedule
+
+
+def _masked_prior(prior: np.ndarray, class_order: list[int],
+                  allowed: int) -> np.ndarray:
+    """Restrict a label prior to the first ``allowed`` classes of a cohort's
+    seeded class order (class-incremental arrival), renormalized."""
+    mask = np.zeros_like(prior)
+    mask[class_order[:allowed]] = 1.0
+    masked = prior * mask
+    total = masked.sum()
+    if total <= 0.0:
+        return mask / mask.sum()
+    return masked / total
+
+
+def build_drift_schedule(spec: DatasetSpec) -> ShiftSchedule:
+    """Materialize a declarative per-cohort drift schedule (``spec.drift``).
+
+    Cohorts are carved from one seeded permutation of the population in
+    declaration order (each entry claims ``round(fraction * num_parties)``
+    parties, at least one); leftover parties stay clean for the whole run.
+    Each member draws a phase offset in ``[0, max_phase_offset]`` and
+    experiences its cohort's trajectory that many windows late, so clients
+    drift at different times.  Regime ids are shared across windows and
+    cohorts for identical ``(corruption, severity)`` pairs — a recurring
+    regime is *the same regime* every time it returns (the expert-reuse
+    hook), exactly as in the legacy schedule.
+
+    ``shifted_parties[w]`` is semantic, not cosmetic: a party counts as
+    shifted entering ``w`` iff its regime id or label prior actually
+    changed, so sudden cohorts surface once, gradual cohorts surface at
+    every ramp step, and recurring cohorts surface at every phase flip.
+    """
+    rng = spawn_rng(spec.seed, "drift-schedule", spec.name)
+    regime_ids: dict[tuple[str, int], int] = {_CLEAN: 0}
+
+    def assignment(corruption: str, severity: int) -> RegimeAssignment:
+        key = (corruption, severity)
+        if key not in regime_ids:
+            regime_ids[key] = len(regime_ids)
+        return RegimeAssignment(corruption, severity, regime_ids[key])
+
+    base_priors = dirichlet_label_priors(
+        spec.num_parties, spec.num_classes, spec.dirichlet_alpha, rng
+    )
+    order = [int(p) for p in rng.permutation(spec.num_parties)]
+
+    # party -> (drift entry, seeded class order, phase offset)
+    rules: dict[int, tuple[CohortDrift, list[int], int]] = {}
+    pos = 0
+    for entry in spec.drift:
+        size = max(1, int(round(entry.fraction * spec.num_parties)))
+        members = order[pos:pos + size]
+        pos += len(members)
+        class_order = [int(c) for c in rng.permutation(spec.num_classes)]
+        for party in members:
+            offset = (int(rng.integers(0, entry.max_phase_offset + 1))
+                      if entry.max_phase_offset > 0 else 0)
+            rules[party] = (entry, class_order, offset)
+
+    clean = assignment(*_CLEAN)
+    schedule = ShiftSchedule(spec=spec)
+    schedule.regimes.append([clean] * spec.num_parties)
+    schedule.label_priors.append(base_priors.copy())
+    schedule.shifted_parties.append(set())
+
+    for window in range(1, spec.num_windows):
+        regimes: list[RegimeAssignment] = []
+        priors = base_priors.copy()
+        shifted: set[int] = set()
+        for party in range(spec.num_parties):
+            rule = rules.get(party)
+            if rule is None:
+                regimes.append(clean)
+                continue
+            entry, class_order, offset = rule
+            effective = window - offset
+            regime = assignment(*entry.regime_at(effective))
+            regimes.append(regime)
+            allowed = entry.allowed_classes(effective, spec.num_classes)
+            if allowed is not None:
+                priors[party] = _masked_prior(base_priors[party],
+                                              class_order, allowed)
+            prev = schedule.regimes[window - 1][party]
+            prev_prior = schedule.label_priors[window - 1][party]
+            if (regime.regime_id != prev.regime_id
+                    or not np.array_equal(priors[party], prev_prior)):
+                shifted.add(party)
+        schedule.regimes.append(regimes)
+        schedule.label_priors.append(priors)
+        schedule.shifted_parties.append(shifted)
     return schedule
 
 

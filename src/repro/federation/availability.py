@@ -153,8 +153,10 @@ class AvailabilitySimulator:
         if not self.enumerates_outages:
             raise ValueError(
                 f"population {self.num_parties} exceeds enumeration_limit "
-                f"{self.enumeration_limit}; query party_in_outage(party, "
-                f"tick) instead of enumerating the outage set")
+                f"{self.enumeration_limit}, so the outage set cannot be "
+                f"enumerated; dispatch through cohort_fates(party_ids, tick) "
+                f"(or query party_in_outage(party, tick) per member), which "
+                f"scales O(cohort) instead of O(population)")
         cached = self._outage_cache.get(tick)
         if cached is not None:
             return cached

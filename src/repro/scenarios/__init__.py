@@ -1,0 +1,36 @@
+"""Declarative scenario documents: workloads as data, not flag lines.
+
+A scenario file (TOML or JSON) describes everything one experiment run
+needs — population, availability trace, per-cohort drift schedule — and
+:func:`compile_scenario` lowers it onto the exact
+:class:`~repro.experiments.plan.ExperimentPlan` the equivalent CLI flags
+would build, so scenario-driven runs reproduce flag-driven runs bitwise.
+:class:`ScenarioGenerator` samples valid documents from a constrained
+space for the seeded fuzz harness (``python -m repro.scenarios.fuzz``).
+"""
+
+from repro.scenarios.compiler import (
+    compile_scenario,
+    federation_from_knobs,
+    lint_scenario,
+    population_from_knobs,
+)
+from repro.scenarios.doc import (
+    ScenarioDoc,
+    load_scenario,
+    save_scenario,
+    scenario_from_value,
+)
+from repro.scenarios.generator import ScenarioGenerator
+
+__all__ = [
+    "ScenarioDoc",
+    "ScenarioGenerator",
+    "compile_scenario",
+    "federation_from_knobs",
+    "lint_scenario",
+    "load_scenario",
+    "population_from_knobs",
+    "save_scenario",
+    "scenario_from_value",
+]

@@ -38,7 +38,11 @@ def _full_plan() -> ExperimentPlan:
             outage_rounds=3))
     spec_override = dataclasses.replace(
         get_dataset_spec("fashion_mnist_sim"), num_parties=6,
-        train_per_window=32, test_per_window=16)
+        train_per_window=32, test_per_window=16,
+        drift=({"arrival": "gradual", "corruption": "frost", "severity": 5,
+                "fraction": 0.4, "start_window": 1, "ramp_windows": 2,
+                "period": 1, "classes_per_window": 2,
+                "max_phase_offset": 1},))
     settings_override = RunSettings(
         rounds_burn_in=4, rounds_per_window=3, eval_parties=4,
         precision=PrecisionPlan(params="float32",
