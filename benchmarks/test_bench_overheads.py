@@ -18,7 +18,8 @@ from repro.clustering.selection import select_num_clusters
 from repro.detection.mmd import median_heuristic_gamma, mmd
 from repro.experts.matching import match_cluster_to_expert
 from repro.experts.registry import ExpertRegistry
-from repro.privacy import TeeOverheadModel
+from repro.privacy import SHARE_BYTES, TeeOverheadModel, sealed_payload_bytes
+from repro.utils.precision import PrecisionPlan
 from repro.utils.rng import spawn_rng
 
 NUM_PARTIES = 200
@@ -84,8 +85,21 @@ def test_bench_memory_model_and_tee_projection(benchmark):
 
     tee = TeeOverheadModel()
     detection_ms = 5.0
-    payload = WINDOW_ROWS * EMBED_DIM * 8
+    # Element width follows the parameter precision (satellite of the
+    # mixed-precision plane): float32 privacy overheads are exactly half.
+    payload = sealed_payload_bytes(WINDOW_ROWS * EMBED_DIM)
+    payload_f32 = sealed_payload_bytes(WINDOW_ROWS * EMBED_DIM,
+                                       PrecisionPlan(params="float32"))
     secure_extra = tee.window_overhead_ms(detection_ms, NUM_PARTIES, payload)
+    secure_extra_f32 = tee.window_overhead_ms(detection_ms, NUM_PARTIES,
+                                              payload_f32)
+    # Shamir t-of-n dropout recovery (majority threshold): each party's
+    # secret bundle is 1 self word + (n-1) pairwise words, each split into
+    # n 16-byte shares at session setup; one recovery pulls t shares/word.
+    threshold = NUM_PARTIES // 2 + 1
+    words = NUM_PARTIES * NUM_PARTIES  # n parties x (1 self + n-1 pair)
+    share_setup_bytes = words * (NUM_PARTIES - 1) * SHARE_BYTES
+    recovery_bytes = NUM_PARTIES * threshold * SHARE_BYTES  # one party's bundle
 
     lines = [
         "Section 7 overheads (simulator scale; paper scale in parentheses)",
@@ -100,6 +114,12 @@ def test_bench_memory_model_and_tee_projection(benchmark):
         "  (paper: ~714 MB)",
         f"  projected TEE extra latency per detection window: {secure_extra:.2f} ms"
         "  (paper: ~5% compute overhead)",
+        f"  projected TEE extra latency at float32: {secure_extra_f32:.2f} ms"
+        "  (sealing bytes halve with the parameter plane)",
+        f"  secure-agg share setup (t={threshold} of n={NUM_PARTIES}):"
+        f" {share_setup_bytes / 1e6:.2f} MB per round cohort",
+        f"  secure-agg mask recovery: {recovery_bytes / 1e3:.2f} KB"
+        " per dropped party",
     ]
     artifact = "\n".join(lines)
     write_artifact("overheads", artifact)
@@ -108,3 +128,6 @@ def test_bench_memory_model_and_tee_projection(benchmark):
     assert footprint["num_experts"] == 5
     assert footprint["mapping_bytes"] == NUM_PARTIES * 8
     assert secure_extra > 0
+    # float32 halves exactly the sealing term, which dominates here.
+    assert payload_f32 * 2 == payload
+    assert share_setup_bytes > 0 and recovery_bytes > 0

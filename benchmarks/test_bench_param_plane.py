@@ -41,6 +41,7 @@ import numpy as np
 import pytest
 
 from repro.detection.mmd import mmd, mmd_many_to_many, mmd_to_many
+from repro.federation.accounting import CommunicationLedger
 from repro.privacy.secure_aggregation import SecureAggregationSession
 from repro.utils.params import (
     ParamBank,
@@ -247,12 +248,31 @@ def _bench_secure_masking(rng: np.random.Generator) -> dict:
             session.seal_row(pid, bank.row(row))
         return session.combine_rows(bank, ones, list(zip(cohort, rows)))
 
+    threshold = SECURE_COHORT // 2 + 1
+
+    def threshold_cycle(ledger=None):
+        for i, row in enumerate(rows):
+            bank.row(row)[...] = source[i]
+        session = SecureAggregationSession(cohort, spec, shared_seed=5,
+                                           threshold=threshold, ledger=ledger)
+        for pid, row in zip(cohort, rows):
+            session.seal_row(pid, bank.row(row))
+        return session.combine_rows(bank, ones, list(zip(cohort, rows)))
+
     legacy = flatten_params(_legacy_masked_cycle(5, cohort, updates))
     np.testing.assert_allclose(legacy, plain, rtol=1e-8, atol=1e-10)
     np.testing.assert_array_equal(sealed_cycle(), plain)
+    # Real Shamir reconstruction recovers the same masks the shortcut
+    # derives: the full-survival threshold cycle is bit-identical too.
+    ledger = CommunicationLedger()
+    np.testing.assert_array_equal(threshold_cycle(ledger), plain)
+    # Distribution meters sent == received; recovery is received-only.
+    share_setup_bytes = ledger.uplink_bytes
+    share_recovery_bytes = ledger.downlink_bytes - ledger.uplink_bytes
 
     baseline_s = _best_of(lambda: _legacy_masked_cycle(5, cohort, updates))
     vectorized_s = _best_of(sealed_cycle)
+    threshold_s = _best_of(threshold_cycle)
     return {
         "kernel": "masked cohort aggregation: per-tensor lists vs sealed rows",
         "cohort": SECURE_COHORT,
@@ -262,6 +282,12 @@ def _bench_secure_masking(rng: np.random.Generator) -> dict:
         "vectorized_s": vectorized_s,
         "speedup": baseline_s / vectorized_s,
         "exact_cancellation": True,
+        # Shamir t-of-n dropout recovery: share traffic for one cohort's
+        # session (distribution round) plus one full-survival recovery.
+        "threshold": threshold,
+        "threshold_s": threshold_s,
+        "share_setup_bytes": share_setup_bytes,
+        "share_recovery_bytes": share_recovery_bytes,
     }
 
 

@@ -227,6 +227,7 @@ def cmd_compare(args) -> int:
                                     shard_hosts=args.shard_hosts,
                                     secure_aggregation=(True if args.secure_agg
                                                         else None),
+                                    privacy=args.privacy,
                                     population=population,
                                     cohort_size=args.cohort_size)
         result = plan.run(executor=_executor(args.jobs), callbacks=callbacks)
@@ -383,7 +384,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "aggregation: party updates stay sealed in "
                                 "their bank rows (including async buffers) "
                                 "until aggregation; sealing is exact, so "
-                                "results match the unmasked run bit for bit")
+                                "results match the unmasked run bit for bit "
+                                "(legacy alias for --privacy masking=on)")
+    p_compare.add_argument("--privacy", default=None, metavar="SPEC",
+                           help="privacy plan spec, e.g. "
+                                "'masking=on,threshold=3' (Shamir t-of-n "
+                                "dropout recovery), 'threshold=majority', "
+                                "'sealed_scoring=on', 'mask_seed=7'; bare "
+                                "'on'/'off' toggles masking; see "
+                                "repro.privacy.plan.PrivacyPlan")
     p_compare.add_argument("--jobs", type=int, default=1,
                            help="run the strategy x seed grid over N processes")
     p_compare.add_argument("--progress", action="store_true",

@@ -92,8 +92,12 @@ class ShiftExStrategy(ContinualStrategy):
             if self.config.epsilon_scale is not None
             else ctx.threshold("shiftex.epsilon_scale", 1.25))
         # Bind the run's sharding before the first expert creates the pool
-        # bank; with the default single-shard plan this is a no-op.
+        # bank; with the default single-shard plan this is a no-op.  The
+        # score seal (sealed_scoring) rides along so every cosine/MMD call
+        # the registry, matcher, and consolidator make operates on sealed
+        # rows — bitwise-identical results, no plaintext stacks.
         self.registry.shard_plan = ctx.shard_plan
+        self.registry.score_seal = ctx.score_seal
         theta0 = ctx.model_factory().get_params()
         expert0 = self.registry.create(theta0, window=0, notes={"role": "bootstrap"})
         # Survey order: every party eagerly, a seeded survey subset under a
@@ -422,7 +426,7 @@ class ShiftExStrategy(ContinualStrategy):
                 ctx.parties, participants, expert.params, ctx.round_config,
                 round_tag=(window, round_index, eid),
                 engine=ctx.federation, stream=("expert", eid),
-                shards=ctx.shard_plan, secure=ctx.secure_aggregation,
+                shards=ctx.shard_plan, secure=ctx.masking_spec,
             )
             expert.set_params(new_params)
             expert.train_rounds += 1
@@ -445,7 +449,7 @@ class ShiftExStrategy(ContinualStrategy):
             ctx.parties, participants, expert0.params, ctx.round_config,
             round_tag=(window, round_index),
             engine=ctx.federation, stream=("expert", expert0.expert_id),
-            shards=ctx.shard_plan, secure=ctx.secure_aggregation,
+            shards=ctx.shard_plan, secure=ctx.masking_spec,
         )
         expert0.set_params(new_params)
         expert0.train_rounds += 1

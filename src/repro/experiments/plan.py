@@ -30,6 +30,7 @@ from repro.federation.pool import PopulationConfig
 from repro.federation.rounds import RoundConfig
 from repro.harness.profiles import RunSettings, get_profile
 from repro.nn.training import LocalTrainingConfig
+from repro.privacy.plan import PrivacyPlan
 from repro.utils.precision import PrecisionPlan
 
 
@@ -114,10 +115,14 @@ class ExperimentPlan:
     construction so the serialized plan pins concrete addresses).  Both
     serialize with the plan; ``None`` defers to the profile settings.
 
-    ``secure_aggregation`` declares pairwise-masked rounds (see
-    :mod:`repro.privacy.secure_aggregation`): party updates stay sealed in
-    their bank rows from training until aggregation.  ``None`` defers to
-    the profile settings (off); sealing is exact, so flipping it never
+    ``privacy`` declares the run's :class:`~repro.privacy.plan.PrivacyPlan`
+    (a plan instance, a mapping, or a spec string such as
+    ``"masking=on,threshold=3"``): pairwise-masked rounds, Shamir t-of-n
+    dropout recovery, sealed expert scoring, and the mask-root override.
+    ``secure_aggregation`` is the legacy boolean alias for
+    ``privacy.masking`` — ``secure_aggregation: true`` in an old plan file
+    means ``PrivacyPlan(masking=True)``, bit for bit.  ``None`` defers to
+    the profile settings (off); masking is exact, so flipping it never
     changes results.
 
     ``population`` declares a virtual-party population (see
@@ -145,6 +150,7 @@ class ExperimentPlan:
     shard_backend: str | None = None
     shard_hosts: tuple[str, ...] | None = None
     secure_aggregation: bool | None = None
+    privacy: PrivacyPlan | None = None
     population: PopulationConfig | None = None
     cohort_size: int | None = None
 
@@ -182,6 +188,15 @@ class ExperimentPlan:
                       hosts=self.shard_hosts or ())
         if self.secure_aggregation is not None:
             self.secure_aggregation = bool(self.secure_aggregation)
+        if self.privacy is not None:
+            self.privacy = PrivacyPlan.from_value(self.privacy)
+            if (self.secure_aggregation is not None
+                    and self.secure_aggregation != self.privacy.masking):
+                raise ValueError(
+                    f"secure_aggregation={self.secure_aggregation} conflicts "
+                    f"with privacy masking={self.privacy.masking}; set one "
+                    f"(secure_aggregation is the legacy alias for "
+                    f"privacy.masking)")
         if self.federation is not None and not isinstance(self.federation,
                                                           FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
@@ -208,6 +223,7 @@ class ExperimentPlan:
               shard_backend: str | None = None,
               shard_hosts=None,
               secure_aggregation: bool | None = None,
+              privacy: "PrivacyPlan | str | Mapping | None" = None,
               population: "PopulationConfig | int | None" = None,
               cohort_size: int | None = None) -> "ExperimentPlan":
         """Flexible constructor: strategies as names, mapping, or specs.
@@ -240,6 +256,8 @@ class ExperimentPlan:
                    federation=federation, shards=shards,
                    shard_backend=shard_backend, shard_hosts=shard_hosts,
                    secure_aggregation=secure_aggregation,
+                   privacy=(PrivacyPlan.from_value(privacy)
+                            if privacy is not None else None),
                    population=population, cohort_size=cohort_size)
 
     # -------------------------------------------------------------- execution
@@ -287,10 +305,17 @@ class ExperimentPlan:
                 and settings.shard_hosts != self.shard_hosts):
             settings = dataclasses.replace(settings,
                                            shard_hosts=self.shard_hosts)
-        if (self.secure_aggregation is not None
-                and settings.secure_aggregation != self.secure_aggregation):
+        # privacy and its legacy alias move together (like dtype/precision):
+        # either knob replaces the profile's whole privacy plan, and the
+        # mirrored secure_aggregation bool must follow or the re-run
+        # __post_init__ would see the stale sibling and report a conflict.
+        plan_privacy = self.privacy
+        if plan_privacy is None and self.secure_aggregation is not None:
+            plan_privacy = PrivacyPlan.from_value(self.secure_aggregation)
+        if plan_privacy is not None and settings.privacy != plan_privacy:
             settings = dataclasses.replace(
-                settings, secure_aggregation=self.secure_aggregation)
+                settings, privacy=plan_privacy,
+                secure_aggregation=plan_privacy.masking)
         if self.population is not None and settings.population != self.population:
             settings = dataclasses.replace(settings,
                                            population=self.population)
@@ -345,6 +370,8 @@ class ExperimentPlan:
             out["shard_hosts"] = list(self.shard_hosts)
         if self.secure_aggregation is not None:
             out["secure_aggregation"] = self.secure_aggregation
+        if self.privacy is not None:
+            out["privacy"] = self.privacy.to_dict()
         if self.population is not None:
             out["population"] = self.population.to_dict()
         if self.cohort_size is not None:
@@ -389,6 +416,8 @@ class ExperimentPlan:
             shard_hosts=(tuple(data["shard_hosts"])
                          if data.get("shard_hosts") is not None else None),
             secure_aggregation=data.get("secure_aggregation"),
+            privacy=(PrivacyPlan.from_value(data["privacy"])
+                     if data.get("privacy") is not None else None),
             population=data.get("population"),
             cohort_size=data.get("cohort_size"),
         )

@@ -72,13 +72,16 @@ def _merge_pair(registry: ExpertRegistry, a: Expert, b: Expert, window: int,
 
 
 def _regimes_agree(a: Expert, b: Expert, memory_epsilon: float | None,
-                   gamma: float | None) -> bool:
+                   gamma: float | None, seal=None) -> bool:
     """The latent-memory gate: both memories describe one covariate regime."""
     if memory_epsilon is None or a.memory.is_empty or b.memory.is_empty:
         return True
+    sig_a, sig_b = a.memory.signature, b.memory.signature
+    if seal is not None:  # sign-sealed MMD is bitwise-identical (see ScoreSeal)
+        sig_a, sig_b = seal.seal(sig_a), seal.seal(sig_b)
     regime_distance = class_conditional_mmd(
-        a.memory.signature, a.memory.signature_labels,
-        b.memory.signature, b.memory.signature_labels, gamma,
+        sig_a, a.memory.signature_labels,
+        sig_b, b.memory.signature_labels, gamma,
     )
     return regime_distance <= memory_epsilon
 
@@ -96,11 +99,15 @@ def _best_mergeable_pair(experts: list[Expert], tau: float,
     check runs only on candidates above ``tau``, best first, so the first
     pass that succeeds is the answer.
     """
+    seal = getattr(registry, "score_seal", None) if registry is not None else None
     if shards is not None and shards.is_active and registry is not None:
         sims = registry.cosine_matrix([e.expert_id for e in experts])
     else:
-        sims = cosine_similarity_matrix(
-            np.stack([np.asarray(e.flat, dtype=np.float64) for e in experts]))
+        stacked = np.stack(
+            [np.asarray(e.flat, dtype=np.float64) for e in experts])
+        if seal is not None:
+            stacked = seal.seal(stacked)
+        sims = cosine_similarity_matrix(stacked)
     iu, ju = np.triu_indices(len(experts), k=1)
     pair_sims = sims[iu, ju]
     # Stable descending order keeps the legacy tie-break: first (i, j) wins.
@@ -109,7 +116,7 @@ def _best_mergeable_pair(experts: list[Expert], tau: float,
         if sim <= tau:
             break
         a, b = experts[int(iu[idx])], experts[int(ju[idx])]
-        if _regimes_agree(a, b, memory_epsilon, gamma):
+        if _regimes_agree(a, b, memory_epsilon, gamma, seal=seal):
             return a, b, sim
     return None
 

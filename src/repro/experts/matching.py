@@ -135,6 +135,16 @@ def match_cluster_to_expert(cluster_embeddings: np.ndarray,
     cluster_embeddings, cluster_labels = _subsample_cluster(
         cluster_embeddings, cluster_labels, max_rows, rng)
     eligible = _eligible_experts(registry, exclude)
+    # Sealed scoring: when the registry carries a ScoreSeal, the cluster
+    # pool and every memory signature are sign-sealed before they reach a
+    # kernel (or a shard worker).  MMD is built from inner products and
+    # row differences, so the seal cancels bitwise — class labels are
+    # stratification metadata, not parameters, and stay as-is.
+    signatures = [e.memory.signature for e in eligible]
+    seal = getattr(registry, "score_seal", None)
+    if seal is not None:
+        cluster_embeddings = seal.seal(cluster_embeddings)
+        signatures = seal.seal_many(signatures)
     # One batched evaluation over all expert memories: the cluster-side
     # kernel blocks are computed once and the cross blocks come from a
     # single stacked matmul, instead of a per-expert Python loop.  With an
@@ -142,23 +152,19 @@ def match_cluster_to_expert(cluster_embeddings: np.ndarray,
     if shards is not None and shards.is_active:
         if cluster_labels is not None:
             score_values = sharded_class_conditional_mmd_to_many(
-                cluster_embeddings, cluster_labels,
-                [e.memory.signature for e in eligible],
+                cluster_embeddings, cluster_labels, signatures,
                 [e.memory.signature_labels for e in eligible], gamma, shards,
             )
         else:
             score_values = sharded_mmd_to_many(
-                cluster_embeddings,
-                [e.memory.signature for e in eligible], gamma, shards)
+                cluster_embeddings, signatures, gamma, shards)
     elif cluster_labels is not None:
         score_values = class_conditional_mmd_to_many(
-            cluster_embeddings, cluster_labels,
-            [e.memory.signature for e in eligible],
+            cluster_embeddings, cluster_labels, signatures,
             [e.memory.signature_labels for e in eligible], gamma,
         )
     else:
-        score_values = mmd_to_many(
-            cluster_embeddings, [e.memory.signature for e in eligible], gamma)
+        score_values = mmd_to_many(cluster_embeddings, signatures, gamma)
     return _best_match(eligible, score_values, epsilon)
 
 
@@ -205,6 +211,10 @@ class WindowMatchScorer:
         self._registry = registry
         self._gamma = gamma
         self._shards = shards
+        # Sealed scoring: cluster pools are sealed once at construction and
+        # *stored sealed*, so a parked scorer (async buffer) never holds a
+        # plaintext snapshot; stale-expert signatures are sealed on rescore.
+        self._seal = getattr(registry, "score_seal", None)
         self._xs: list[np.ndarray] = []
         self._xls: list[np.ndarray] | None = (
             [] if cluster_labels is not None else None)
@@ -212,6 +222,8 @@ class WindowMatchScorer:
             labels = cluster_labels[i] if cluster_labels is not None else None
             rng = rngs[i] if rngs is not None else None
             x, xl = _subsample_cluster(cluster, labels, max_rows, rng)
+            if self._seal is not None:
+                x = self._seal.seal(x)
             self._xs.append(x)
             if self._xls is not None:
                 self._xls.append(xl)
@@ -222,6 +234,8 @@ class WindowMatchScorer:
         plan = shards if shards is not None else ShardPlan()
         if snapshot and clusters:
             ys = [e.memory.signature for e in snapshot]
+            if self._seal is not None:
+                ys = self._seal.seal_many(ys)
             if self._xls is not None:
                 yls = [e.memory.signature_labels for e in snapshot]
                 self._scores = sharded_class_conditional_mmd_many_to_many(
@@ -249,13 +263,15 @@ class WindowMatchScorer:
         stale = [e for e in eligible if not self._is_fresh(e)]
         fresh_scores: dict[int, float] = {}
         if stale:
+            stale_sigs = [e.memory.signature for e in stale]
+            if self._seal is not None:  # x is already sealed from __init__
+                stale_sigs = self._seal.seal_many(stale_sigs)
             if xl is not None:
                 vals = class_conditional_mmd_to_many(
-                    x, xl, [e.memory.signature for e in stale],
+                    x, xl, stale_sigs,
                     [e.memory.signature_labels for e in stale], self._gamma)
             else:
-                vals = mmd_to_many(
-                    x, [e.memory.signature for e in stale], self._gamma)
+                vals = mmd_to_many(x, stale_sigs, self._gamma)
             fresh_scores = {e.expert_id: float(v)
                             for e, v in zip(stale, vals)}
         score_values = [

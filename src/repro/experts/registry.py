@@ -160,6 +160,11 @@ class ExpertRegistry:
         # May be reassigned until the first expert creates the pool bank
         # (ShiftEx binds it from the run context in ``setup``).
         self.shard_plan = resolve_shard_plan(shard_plan)
+        # Sealed scoring (PrivacyPlan.sealed_scoring): when bound (ShiftEx
+        # ``setup``), every pool-level similarity/MMD kernel runs over
+        # sign-sealed operands — bitwise-identical results, no plaintext
+        # row materialized by the scoring pipeline.
+        self.score_seal = None
         self._bank: ParamBank | None = None
         self._experts: dict[int, Expert] = {}
         self._next_id = 0
@@ -208,15 +213,20 @@ class ExpertRegistry:
 
         Runs on the pool bank when every selected expert lives there — under
         an active shard plan that fans per-shard Gram blocks out across the
-        worker pool — and falls back to a stacked gather otherwise.
+        worker pool — and falls back to a stacked gather otherwise.  With a
+        bound :attr:`score_seal` both paths score sign-sealed operands
+        (bitwise-identical; see :mod:`repro.privacy.sealed_scoring`).
         """
         experts = self.all() if ids is None else [self.get(i) for i in ids]
         if not experts:
             raise ValueError("registry holds no experts to score")
         if self._bank is not None and all(e._bank is self._bank for e in experts):
-            return self._bank.cosine_matrix([e._row for e in experts])
-        return cosine_similarity_matrix(
-            np.stack([np.asarray(e.flat) for e in experts]))
+            return self._bank.cosine_matrix([e._row for e in experts],
+                                            seal=self.score_seal)
+        stacked = np.stack([np.asarray(e.flat) for e in experts])
+        if self.score_seal is not None:
+            stacked = self.score_seal.seal(stacked)
+        return cosine_similarity_matrix(stacked)
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -352,13 +362,19 @@ class ExpertRegistry:
 
     # ------------------------------------------------------------------ accounting
 
-    def memory_footprint(self, embedding_dim: int, num_parties: int) -> dict[str, float]:
+    def memory_footprint(self, embedding_dim: int, num_parties: int,
+                         precision=None) -> dict[str, float]:
         """Aggregator-side memory model of Section 5.4, in bytes.
 
         O(k*d) expert centroids + O(n) party mapping + expert parameters
-        (at the pool's configured precision).
+        (at the pool's configured precision).  ``precision`` (a
+        :class:`~repro.utils.precision.PrecisionPlan`) sizes the centroid
+        and signature floats at the detection island's dtype instead of
+        the historical 8-byte default; the party mapping stays 8-byte ids
+        regardless.
         """
-        bytes_per_float = 8
+        bytes_per_float = (8 if precision is None
+                           else precision.np_detection_stats.itemsize)
         k = len(self)
         centroids = k * embedding_dim * bytes_per_float
         signatures = sum(

@@ -311,7 +311,7 @@ class FederationEngine:
                   params: Params, config: RoundConfig, round_tag: object = 0,
                   stream: object = "default", dtype=None,
                   shards: "ShardPlan | int | None" = None,
-                  secure: int | None = None,
+                  secure: "int | object | None" = None,
                   ) -> tuple[Params, RoundStats]:
         """One engine-mediated round (called via ``run_fl_round``)."""
         if self.clock < 0:
@@ -387,6 +387,18 @@ class FederationEngine:
             # the bank kernel, and scrub the rows before they are released.
             # The finally mirrors combine_rows: even if the kernel raises,
             # no unmasked update stays resident in the stream buffer.
+            # Under a Shamir threshold, each dispatch session first runs
+            # its reconstruction round for the parties being unsealed —
+            # every cohort member sealed a row (it is alive), so the full
+            # cohort answers the share query and the ledger meters the
+            # pull under ``secure_agg``.
+            by_session: dict[int, tuple[object, list[int]]] = {}
+            for r in sealed:
+                entry = by_session.setdefault(id(r.session),
+                                              (r.session, []))
+                entry[1].append(r.party_id)
+            for session, party_ids in by_session.values():
+                session.recover(party_ids)
             unsealed = []
             try:
                 for r in sealed:
@@ -413,7 +425,8 @@ class FederationEngine:
     def _run_sync(self, parties, alive, dropped, participant_ids, params,
                   config, round_tag, dtype,
                   shards: ShardPlan | None = None,
-                  secure: int | None = None) -> tuple[Params, RoundStats]:
+                  secure: "int | object | None" = None,
+                  ) -> tuple[Params, RoundStats]:
         """Blocking mode: full surviving cohort, stragglers awaited."""
         alive_ids = [f.party_id for f in alive]
         if not alive_ids:

@@ -30,7 +30,11 @@ import numpy as np
 
 from repro.federation.party import Party
 from repro.nn.training import LocalTrainingConfig
-from repro.privacy.secure_aggregation import SecureAggregationSession
+from repro.privacy.secure_aggregation import (
+    MaskingSpec,
+    SecureAggregationSession,
+    resolve_masking,
+)
 from repro.utils.params import ParamBank, ParamSpec, Params, make_param_bank
 from repro.utils.sharding import ShardPlan, resolve_shard_plan
 
@@ -139,16 +143,21 @@ def train_cohort(parties: dict[int, Party], participant_ids: list[int],
 
 
 def make_round_session(participant_ids: list[int], spec: ParamSpec, bank,
-                       secure: int, context: tuple,
+                       secure: "int | MaskingSpec", context: tuple,
                        ) -> tuple[SecureAggregationSession, Callable]:
     """A per-round session plus the ``train_cohort`` seal hook.
 
     The hook seals only reports that carry samples — zero-sample rows are
     released immediately by both round paths and never enter an aggregate.
+    ``secure`` is the mask-stream root seed, or a
+    :class:`~repro.privacy.secure_aggregation.MaskingSpec` carrying the
+    Shamir recovery threshold and the ledger that meters share traffic.
     """
+    masking = resolve_masking(secure)
     session = SecureAggregationSession(
-        list(participant_ids), spec, shared_seed=secure, dtype=bank.dtype,
-        context=context)
+        list(participant_ids), spec, shared_seed=masking.seed,
+        dtype=bank.dtype, context=context, threshold=masking.threshold,
+        ledger=masking.ledger)
 
     def seal(party_id: int, row: int, update) -> None:
         if update.num_samples > 0:
@@ -165,7 +174,8 @@ def mean_finite_loss(updates) -> float:
 def _sync_round(parties: dict[int, Party], participant_ids: list[int],
                 params: Params, config: RoundConfig, round_tag: object,
                 dtype=None, shards: ShardPlan | None = None,
-                secure: int | None = None) -> tuple[Params, RoundStats]:
+                secure: "int | MaskingSpec | None" = None,
+                ) -> tuple[Params, RoundStats]:
     spec = ParamSpec.of(params)
     bank = make_param_bank(spec,
                            dtype=round_dtype(parties, participant_ids, params,
@@ -220,7 +230,7 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
                  stream: object = "default",
                  dtype=None,
                  shards: "ShardPlan | int | None" = None,
-                 secure: int | None = None,
+                 secure: "int | MaskingSpec | None" = None,
                  ) -> tuple[Params, RoundStats]:
     """Train ``params`` for one round over the given participants.
 
@@ -244,10 +254,14 @@ def run_fl_round(parties: dict[int, Party], participant_ids: list[int],
     in-process bank and reproduces historical results bitwise.  Under an
     engine the engine's own plan wins when this argument is None.
 
-    ``secure`` (a mask-stream root seed, or None = off) masks the round:
-    every bank row is sealed at training time and the aggregate comes out
-    of the session's recovery phase — bit-for-bit the unmasked result,
-    with no unmasked party update resident in server-side storage.
+    ``secure`` (a mask-stream root seed, a
+    :class:`~repro.privacy.secure_aggregation.MaskingSpec`, or None = off)
+    masks the round: every bank row is sealed at training time and the
+    aggregate comes out of the session's recovery phase — bit-for-bit the
+    unmasked result, with no unmasked party update resident in
+    server-side storage.  A spec with a ``threshold`` additionally runs
+    the Shamir share-distribution and reconstruction rounds, metered in
+    its ledger under the ``secure_agg`` channel.
     """
     if not participant_ids:
         raise ValueError("cannot run a round with no participants")

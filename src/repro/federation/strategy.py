@@ -29,6 +29,9 @@ from repro.federation.accounting import CommunicationLedger, RuntimeProfiler
 from repro.federation.party import Party
 from repro.federation.rounds import RoundConfig
 from repro.nn.network import Sequential
+from repro.privacy.plan import PrivacyPlan
+from repro.privacy.sealed_scoring import ScoreSeal
+from repro.privacy.secure_aggregation import MaskingSpec
 from repro.utils.params import Params
 from repro.utils.precision import PrecisionPlan
 from repro.utils.rng import spawn_rng
@@ -55,9 +58,14 @@ class StrategyContext:
     (1 shard) is the byte-for-byte in-process path.
 
     ``secure_aggregation`` is the run's mask-stream root seed when secure
-    aggregation is on (None = off, the default): strategies pass it as
-    ``run_fl_round(secure=...)`` so every round they run — on any stream —
-    seals its party updates in their bank rows.
+    aggregation is on (None = off, the default).  Strategies pass
+    ``masking_spec`` — the seed bundled with the run's
+    :class:`~repro.privacy.plan.PrivacyPlan` Shamir threshold and the
+    ledger — as ``run_fl_round(secure=...)`` so every round they run, on
+    any stream, seals its party updates in their bank rows and (with a
+    threshold) distributes recovery shares.  ``score_seal`` is the run's
+    sealed-scoring sign vector (None = plaintext scoring); the ShiftEx
+    setup binds it onto the expert registry.
 
     ``precision`` is the run's :class:`~repro.utils.precision.PrecisionPlan`:
     ``params`` the model/bank dtype, ``detection_stats`` the float64 island
@@ -79,6 +87,8 @@ class StrategyContext:
     federation: "FederationEngine | None" = None
     shard_plan: ShardPlan = field(default_factory=ShardPlan)
     secure_aggregation: int | None = None
+    privacy: PrivacyPlan | None = None
+    score_seal: ScoreSeal | None = None
     precision: PrecisionPlan = field(default_factory=PrecisionPlan)
     thresholds: "ThresholdTable | None" = None
     _party_ids: "tuple[int, ...] | None" = field(default=None, init=False,
@@ -86,6 +96,21 @@ class StrategyContext:
 
     def rng(self, *labels: object) -> np.random.Generator:
         return spawn_rng(self.seed, *labels)
+
+    @property
+    def masking_spec(self) -> MaskingSpec | None:
+        """The ``run_fl_round(secure=...)`` argument for this run.
+
+        None when masking is off; otherwise the mask-root seed bundled
+        with the privacy plan's Shamir threshold (None = seed-derived
+        shortcut, no share rounds) and the run ledger, so share traffic
+        lands under the ``secure_agg`` wire category.
+        """
+        if self.secure_aggregation is None:
+            return None
+        threshold = self.privacy.threshold if self.privacy is not None else None
+        return MaskingSpec(seed=self.secure_aggregation, threshold=threshold,
+                           ledger=self.ledger)
 
     def threshold(self, key: str, default: float) -> float:
         """Resolve a detection/matching threshold for this run's precision.

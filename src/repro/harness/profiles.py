@@ -11,6 +11,7 @@ from repro.federation.async_engine import FederationConfig
 from repro.federation.pool import PopulationConfig
 from repro.federation.rounds import RoundConfig
 from repro.nn.training import LocalTrainingConfig
+from repro.privacy.plan import PrivacyPlan
 from repro.utils.params import resolve_dtype
 from repro.utils.precision import PrecisionPlan
 from repro.utils.sharding import ShardPlan
@@ -67,14 +68,24 @@ class RunSettings:
     reproduces the eager path bitwise; the default ``None`` never builds a
     pool.
 
-    ``secure_aggregation`` masks every federated round under a pairwise
+    ``privacy`` is the run's :class:`~repro.privacy.plan.PrivacyPlan`:
+    ``masking`` turns every federated round into a pairwise
     secure-aggregation session (see
-    :mod:`repro.privacy.secure_aggregation`): party updates are sealed in
+    :mod:`repro.privacy.secure_aggregation`) — party updates are sealed in
     their bank rows from training until their aggregation fires, so no
-    unmasked individual update is ever resident server-side — including
+    unmasked individual update is ever resident server-side, including
     inside async stream buffers.  Sealing is exact (bit-domain), so a
-    masked run reproduces its unmasked twin bit for bit; the default
-    ``False`` never constructs a session.
+    masked run reproduces its unmasked twin bit for bit.  ``threshold``
+    adds Shamir t-of-n dropout recovery on top; ``sealed_scoring``
+    sign-seals expert scoring; ``mask_seed`` overrides the mask root.
+
+    ``secure_aggregation`` survives as the legacy boolean alias for
+    ``privacy.masking``: ``secure_aggregation=True`` means
+    ``PrivacyPlan(masking=True)`` and upgrades an off plan (one-way — the
+    ``False`` default is indistinguishable from unset and never downgrades
+    an explicit plan; declared contradictions error at the
+    :class:`~repro.experiments.plan.ExperimentPlan` level).  After
+    construction ``secure_aggregation`` always mirrors ``privacy.masking``.
     """
 
     rounds_burn_in: int = 6
@@ -88,6 +99,7 @@ class RunSettings:
     shard_backend: str = "auto"
     shard_hosts: tuple[str, ...] = ()
     secure_aggregation: bool = False
+    privacy: PrivacyPlan | None = None
     population: PopulationConfig | None = None
 
     def __post_init__(self) -> None:
@@ -111,7 +123,17 @@ class RunSettings:
                     f"shorthand alias for precision.params)")
         self.precision = plan
         self.dtype = plan.params
-        self.secure_aggregation = bool(self.secure_aggregation)
+        # The legacy bool upgrades masking one-way: ``secure_aggregation=
+        # True`` means masking on (possibly via dataclasses.replace over an
+        # already-resolved settings, whose privacy field is a stale sibling),
+        # and ``False`` — the default, indistinguishable from unset — never
+        # downgrades an explicit plan.  Declared contradictions are caught
+        # at the ExperimentPlan level, where None means unset.
+        privacy = PrivacyPlan.from_value(self.privacy)
+        if self.secure_aggregation and not privacy.masking:
+            privacy = privacy.with_masking()
+        self.privacy = privacy
+        self.secure_aggregation = privacy.masking
         if not isinstance(self.federation, FederationConfig):
             self.federation = FederationConfig.from_dict(self.federation)
         self.population = PopulationConfig.from_value(self.population)

@@ -27,6 +27,7 @@ from repro.net.client import wire_totals
 from repro.harness.profiles import RunSettings
 from repro.metrics.windows import WindowSummary, summarize_run
 from repro.nn.models import build_model
+from repro.privacy.sealed_scoring import ScoreSeal
 from repro.utils.rng import spawn_rng
 
 
@@ -109,6 +110,11 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
     # Snapshot shard-service wire counters so this run's delta (and only
     # its delta) lands in the ledger under the shard_service category.
     wire_sent0, wire_received0 = wire_totals()
+    # The privacy plan's mask root defaults to the run seed (mask streams
+    # are label-namespaced, so they never collide with model/data draws);
+    # ``mask_seed`` pins it independently of the data/model seed.
+    privacy = settings.privacy
+    mask_root = privacy.mask_root(seed) if privacy is not None else seed
     ctx = StrategyContext(
         spec=spec,
         parties=parties,
@@ -120,9 +126,11 @@ def run_strategy(strategy: ContinualStrategy, spec: DatasetSpec,
         # Byte accounting follows the run's parameter dtype: a float32
         # plane moves half the bytes of its float64 twin, exactly.
         ledger=CommunicationLedger.from_precision(settings.precision),
-        # The run seed doubles as the mask-stream root: mask streams are
-        # label-namespaced, so they never collide with model/data draws.
-        secure_aggregation=seed if settings.secure_aggregation else None,
+        secure_aggregation=mask_root if settings.secure_aggregation else None,
+        privacy=privacy,
+        score_seal=(ScoreSeal(seed=mask_root)
+                    if privacy is not None and privacy.sealed_scoring
+                    else None),
         precision=settings.precision,
         # The committed threshold table for this parameter precision; the
         # float64 table repeats the historical values, so loading it leaves

@@ -22,15 +22,21 @@ from repro.privacy.enclave import (
     seal_for_enclave,
 )
 from repro.privacy.channel import SecureReportChannel
-from repro.privacy.overhead import TeeOverheadModel
+from repro.privacy.overhead import TeeOverheadModel, sealed_payload_bytes
+from repro.privacy.plan import PrivacyPlan
+from repro.privacy.sealed_scoring import ScoreSeal
 from repro.privacy.secure_aggregation import (
+    SHARE_BYTES,
     IncompleteSubmissionError,
+    MaskingSpec,
     SecureAggregationSession,
     mask_vector,
     pairwise_mask,
+    resolve_masking,
     seal_bits,
     self_seal_bits,
 )
+from repro.privacy.shamir import PRIME, reconstruct_secret, split_secret
 
 __all__ = [
     "AttestationError",
@@ -40,10 +46,19 @@ __all__ = [
     "seal_for_enclave",
     "SecureReportChannel",
     "TeeOverheadModel",
+    "sealed_payload_bytes",
+    "PrivacyPlan",
+    "ScoreSeal",
+    "SHARE_BYTES",
     "IncompleteSubmissionError",
+    "MaskingSpec",
     "SecureAggregationSession",
     "mask_vector",
     "pairwise_mask",
+    "resolve_masking",
     "seal_bits",
     "self_seal_bits",
+    "PRIME",
+    "reconstruct_secret",
+    "split_secret",
 ]

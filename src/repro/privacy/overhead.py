@@ -46,3 +46,20 @@ class TeeOverheadModel:
         compute_tax = detection_ms * self.compute_overhead
         transitions = num_parties * self.transition_cost_ms
         return sealing + compute_tax + transitions
+
+
+def sealed_payload_bytes(num_floats: int, precision=None) -> int:
+    """Wire bytes of a sealed payload of ``num_floats`` float elements.
+
+    Routed through
+    :meth:`~repro.federation.accounting.CommunicationLedger.from_precision`
+    so the element width follows the run's parameter precision — a float32
+    plane's privacy overheads are half its float64 twin's, exactly, instead
+    of being over-counted by a hardcoded 8 bytes per element.
+    """
+    if num_floats < 0:
+        raise ValueError("payload element count must be non-negative")
+    from repro.federation.accounting import CommunicationLedger
+
+    ledger = CommunicationLedger.from_precision(precision)
+    return int(num_floats) * ledger.bytes_per_float

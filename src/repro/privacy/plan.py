@@ -1,0 +1,184 @@
+"""The privacy plan: one knob surface for masking, recovery, and sealing.
+
+``secure_aggregation: bool`` grew three independent decisions in a single
+flag: whether round submissions are masked at all, how dropout recovery is
+protected (the Shamir ``t``-of-``n`` threshold), and whether expert
+scoring runs over sealed rows.  :class:`PrivacyPlan` names each knob
+separately, mirroring :class:`~repro.utils.precision.PrecisionPlan` and
+``ShardPlan``:
+
+* ``masking`` — seal round submissions in the bit domain (PR 5's
+  bank-resident masking).  Off by default.
+* ``threshold`` — Shamir share threshold for dropout recovery: an int, or
+  ``"majority"`` for ``n // 2 + 1`` resolved per cohort.  ``None`` keeps
+  the seed-derived recovery shortcut (no share traffic).  Requires
+  ``masking``.
+* ``sealed_scoring`` — run expert cosine/MMD scoring over sign-sealed
+  rows (bitwise-identical Gram cancellation; see ARCHITECTURE.md).
+* ``mask_seed`` — override the mask-stream root seed (defaults to the run
+  seed, which keeps masked runs bit-identical to their unmasked twins).
+
+The legacy boolean survives as a shorthand alias everywhere a plan is
+accepted: ``secure_aggregation=True`` means ``PrivacyPlan(masking=True)``
+and reproduces PR 5 runs bitwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, replace
+
+_KEYS = ("masking", "threshold", "sealed_scoring", "mask_seed")
+_TRUE = {"on", "true", "yes", "1"}
+_FALSE = {"off", "false", "no", "0"}
+
+
+def _parse_bool(key: str, value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return bool(value)
+    text = str(value).strip().lower()
+    if text in _TRUE:
+        return True
+    if text in _FALSE:
+        return False
+    raise ValueError(f"privacy knob '{key}' expects on/off "
+                     f"(or true/false); got {value!r}")
+
+
+@dataclass(frozen=True)
+class PrivacyPlan:
+    """Which privacy mechanisms a run enables (see module docstring)."""
+
+    masking: bool = False
+    threshold: int | str | None = None
+    sealed_scoring: bool = False
+    mask_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "masking",
+                           _parse_bool("masking", self.masking))
+        object.__setattr__(self, "sealed_scoring",
+                           _parse_bool("sealed_scoring", self.sealed_scoring))
+        threshold = self.threshold
+        if threshold is not None:
+            if isinstance(threshold, str):
+                text = threshold.strip().lower()
+                if text in ("none", ""):
+                    threshold = None
+                elif text == "majority":
+                    threshold = "majority"
+                else:
+                    try:
+                        threshold = int(text)
+                    except ValueError:
+                        raise ValueError(
+                            f"privacy threshold must be an int or "
+                            f"'majority'; got {self.threshold!r}") from None
+            else:
+                threshold = int(threshold)
+            if isinstance(threshold, int) and threshold < 1:
+                raise ValueError(
+                    f"privacy threshold must be >= 1 (got {threshold})")
+            object.__setattr__(self, "threshold", threshold)
+        if self.threshold is not None and not self.masking:
+            raise ValueError(
+                "privacy threshold (Shamir dropout recovery) requires "
+                "masking=on: shares protect mask seeds, and there are no "
+                "masks to recover without masking")
+        if self.mask_seed is not None:
+            object.__setattr__(self, "mask_seed", int(self.mask_seed))
+
+    # ----------------------------------------------------------- resolution
+
+    @property
+    def is_active(self) -> bool:
+        return self.masking or self.sealed_scoring
+
+    def resolve_threshold(self, cohort_size: int) -> int | None:
+        """The effective ``t`` for a cohort of ``cohort_size`` parties.
+
+        ``"majority"`` resolves to ``n // 2 + 1``; an explicit int is
+        clamped into ``[1, n]`` because per-expert cohorts can be tiny
+        (a singleton cohort still seals, so ``t`` must not exceed ``n``).
+        """
+        if self.threshold is None:
+            return None
+        n = int(cohort_size)
+        if self.threshold == "majority":
+            return max(1, n // 2 + 1)
+        return max(1, min(int(self.threshold), n))
+
+    def mask_root(self, run_seed: int) -> int:
+        """The mask-stream root seed: the override, else the run seed."""
+        return int(run_seed if self.mask_seed is None else self.mask_seed)
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_value(cls, value) -> "PrivacyPlan":
+        """Coerce a plan knob: None / bool / mapping / spec string / plan.
+
+        * ``None`` — the all-off default plan.
+        * a bool — the legacy ``secure_aggregation`` alias:
+          ``True`` means ``PrivacyPlan(masking=True)``.
+        * a mapping — ``{"masking": ..., "threshold": ...}``.
+        * a spec string — ``"masking=on,threshold=3"`` (any key may be
+          omitted); bare ``"on"``/``"off"`` toggles masking alone.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, PrivacyPlan):
+            return value
+        if isinstance(value, bool):
+            return cls(masking=value)
+        if isinstance(value, Mapping):
+            unknown = set(value) - set(_KEYS)
+            if unknown:
+                raise ValueError(
+                    f"unknown privacy keys {sorted(unknown)}; "
+                    f"expected {list(_KEYS)}")
+            return cls(**dict(value))
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise ValueError(f"cannot interpret privacy plan {value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "PrivacyPlan":
+        """Parse a CLI spec: ``on`` or ``masking=on,threshold=3,...``."""
+        text = text.strip()
+        if "=" not in text:
+            # Bare on/off: the boolean alias in spec-string clothing.
+            return cls(masking=_parse_bool("masking", text))
+        fields: dict[str, str] = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, val = item.partition("=")
+            if not sep or not val.strip():
+                raise ValueError(
+                    f"privacy spec item '{item}' is not key=value")
+            fields[key.strip()] = val.strip()
+        return cls.from_value(fields)
+
+    def with_masking(self) -> "PrivacyPlan":
+        """This plan with masking forced on (the legacy-alias merge)."""
+        return self if self.masking else replace(self, masking=True)
+
+    def __str__(self) -> str:
+        parts = [f"masking={'on' if self.masking else 'off'}"]
+        if self.threshold is not None:
+            parts.append(f"threshold={self.threshold}")
+        if self.sealed_scoring:
+            parts.append("sealed_scoring=on")
+        if self.mask_seed is not None:
+            parts.append(f"mask_seed={self.mask_seed}")
+        return ",".join(parts)
+
+
+__all__ = ["PrivacyPlan"]

@@ -58,8 +58,11 @@ so a flushed buffer leaks no residue.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.privacy.shamir import PRIME, reconstruct_secret, split_secret
 from repro.utils.params import (
     ParamBank,
     ParamSpec,
@@ -69,9 +72,52 @@ from repro.utils.params import (
 )
 from repro.utils.rng import spawn_rng
 
+# One Shamir share on the wire: the (x, y) pair as two 8-byte words.
+SHARE_BYTES = 16
+
 
 class IncompleteSubmissionError(RuntimeError):
     """Raised when the aggregate is requested before all parties submitted."""
+
+
+@dataclass(frozen=True)
+class MaskingSpec:
+    """Runtime masking parameters handed to the round paths.
+
+    The historical ``secure=<seed>`` int survives as shorthand for
+    ``MaskingSpec(seed)`` — no threshold, no ledger, bitwise the PR 5
+    behavior.  ``threshold`` switches dropout recovery from the
+    seed-derived shortcut to real Shamir ``t``-of-``n`` reconstruction
+    (``int`` or ``"majority"``, resolved per cohort); ``ledger`` is the
+    run's :class:`~repro.federation.accounting.CommunicationLedger`, which
+    meters the share traffic under the ``secure_agg`` channel.
+    """
+
+    seed: int
+    threshold: int | str | None = None
+    ledger: object = None
+
+
+def resolve_masking(secure: "int | MaskingSpec") -> MaskingSpec:
+    """Coerce the round paths' ``secure`` argument (int seed or spec)."""
+    if isinstance(secure, MaskingSpec):
+        return secure
+    return MaskingSpec(seed=int(secure))
+
+
+def _resolve_threshold(threshold: "int | str | None", n: int) -> int | None:
+    """The effective ``t`` for a cohort of ``n``: clamp ints into [1, n].
+
+    ShiftEx dispatches per-expert cohorts that can be as small as one
+    party; an experiment-level ``threshold=3`` must still seal those
+    rounds, so the threshold degrades to the cohort size instead of
+    refusing the round.
+    """
+    if threshold is None:
+        return None
+    if threshold == "majority":
+        return max(1, int(n) // 2 + 1)
+    return max(1, min(int(threshold), int(n)))
 
 
 def _uint_dtype(dtype: np.dtype) -> np.dtype:
@@ -157,7 +203,9 @@ class SecureAggregationSession:
     def __init__(self, cohort: list[int],
                  param_shapes: "ParamSpec | list[tuple[int, ...]]",
                  shared_seed: int = 0, dtype=None,
-                 context: tuple = ()) -> None:
+                 context: tuple = (),
+                 threshold: "int | str | None" = None,
+                 ledger: object = None) -> None:
         if len(set(cohort)) != len(cohort) or not cohort:
             raise ValueError("cohort must be a non-empty list of distinct ids")
         if isinstance(param_shapes, ParamSpec):
@@ -169,10 +217,18 @@ class SecureAggregationSession:
         self.shared_seed = shared_seed
         self.context = tuple(context)
         self.dtype = resolve_dtype(dtype)
+        self.threshold = _resolve_threshold(threshold, len(self.cohort))
+        self.ledger = ledger
         self._facade_bank: ParamBank | None = None  # lazy: facade path only
         self._rows: dict[int, int] = {}
         self._weights: dict[int, float] = {}
         self._sealed: set[int] = set()
+        # (owner, word key) -> {holder: (x, y)}: the share matrix the server
+        # collects in the distribution round (threshold mode only).
+        self._shares: dict[tuple, dict[int, tuple[int, int]]] = {}
+        self._recovered: set[int] = set()
+        if self.threshold is not None:
+            self._distribute_shares()
 
     @property
     def _bank(self) -> ParamBank:
@@ -223,6 +279,99 @@ class SecureAggregationSession:
                 net -= bits
         return net
 
+    # ------------------------------------------------------ Shamir recovery
+
+    def _secret_word(self, label: str, *ids: int) -> int:
+        """One 61-bit secret word: the digest a party's mask stream commits
+        to.  The word is derived from the same (seed, context, ids) tuple
+        as the mask stream itself, so reconstructing it from shares proves
+        the server holds enough of the cohort to re-derive that stream —
+        and the masks it then derives are bit-identical to the shortcut's.
+        """
+        rng = spawn_rng(self.shared_seed, label, *self.context, *ids)
+        return int(rng.integers(PRIME))
+
+    def _secret_words(self, party_id: int) -> dict[tuple, int]:
+        """The word bundle party ``party_id`` splits: its personal-mask
+        word (Bonawitz's ``b_i``) plus one word per pairwise stream it
+        shares.  Pair words are keyed by the unordered pair, so either
+        endpoint's bundle recovers the seeds a dropped peer took down."""
+        words = {("self", party_id):
+                 self._secret_word("share-secret-self", party_id)}
+        for other in self.cohort:
+            if other == party_id:
+                continue
+            low, high = sorted((party_id, other))
+            words[("pair", low, high)] = self._secret_word(
+                "share-secret-pair", low, high)
+        return words
+
+    def _distribute_shares(self) -> None:
+        """The share-distribution round: every party splits its word bundle
+        t-of-n and sends one share to each peer (via the server, which is
+        what the ledger meters — its own share never transits the wire).
+        """
+        n = len(self.cohort)
+        transit = 0
+        for owner in self.cohort:
+            for key, secret in self._secret_words(owner).items():
+                rng = spawn_rng(self.shared_seed, "share-split",
+                                *self.context, owner, *key)
+                shares = split_secret(secret, n, self.threshold, rng)
+                self._shares[(owner, key)] = dict(zip(self.cohort, shares))
+                transit += (n - 1) * SHARE_BYTES
+        if self.ledger is not None and transit:
+            self.ledger.record_wire("secure_agg", sent_bytes=transit,
+                                    received_bytes=transit)
+
+    def recover(self, party_ids: list[int],
+                available: "list[int] | None" = None) -> None:
+        """The reconstruction round: rebuild each party's word bundle from
+        the shares held by ``available`` parties (default: the cohort —
+        every cohort member sealed a row, so it is alive to answer).
+
+        Below-threshold availability raises
+        :class:`IncompleteSubmissionError` *before* anything is unsealed.
+        Each reconstructed word is checked against the direct derivation —
+        the protocol gate that makes a full-survival t-of-n run bitwise
+        identical to the seed-derived shortcut: recovery changes *when*
+        the server may derive masks, never *what* it derives.
+        """
+        if self.threshold is None:
+            return
+        pool = self.cohort if available is None else available
+        holders = [p for p in self.cohort if p in set(pool)]
+        if len(holders) < self.threshold:
+            raise IncompleteSubmissionError(
+                f"mask recovery needs {self.threshold} of "
+                f"{len(self.cohort)} share holders but only "
+                f"{len(holders)} are available ({holders}); refusing to "
+                "reconstruct below threshold")
+        quorum = holders[:self.threshold]
+        pulled = 0
+        for party_id in party_ids:
+            if party_id in self._recovered:
+                continue
+            self._check_party(party_id)
+            for key, expected in self._secret_words(party_id).items():
+                shares = [self._shares[(party_id, key)][h] for h in quorum]
+                word = reconstruct_secret(shares)
+                if word != expected:
+                    raise RuntimeError(
+                        f"share reconstruction for party {party_id} "
+                        f"word {key} produced a mismatched secret — the "
+                        "share matrix is corrupt")
+                pulled += len(shares) * SHARE_BYTES
+            self._recovered.add(party_id)
+        if self.ledger is not None and pulled:
+            self.ledger.record_wire("secure_agg", sent_bytes=0,
+                                    received_bytes=pulled)
+
+    def is_recovered(self, party_id: int) -> bool:
+        """True when the party's words were reconstructed (or no threshold
+        is configured, in which case the shortcut needs no recovery)."""
+        return self.threshold is None or party_id in self._recovered
+
     def _check_party(self, party_id: int) -> None:
         if party_id not in self.cohort:
             raise KeyError(f"party {party_id} not in this session's cohort")
@@ -258,9 +407,16 @@ class SecureAggregationSession:
         self._sealed.add(party_id)
 
     def unseal_row(self, party_id: int, row: np.ndarray) -> None:
-        """Remove a sealed row's net mask in place (recovery phase)."""
+        """Remove a sealed row's net mask in place (recovery phase).
+
+        In threshold mode the party's mask words must be reconstructed
+        first; callers that know the surviving set run :meth:`recover`
+        explicitly, anyone else gets the default full-cohort quorum here.
+        """
         if party_id not in self._sealed:
             raise KeyError(f"party {party_id} has no sealed row")
+        if not self.is_recovered(party_id):
+            self.recover([party_id])
         view = self._uint_view(row)
         view -= self.net_seal_bits(party_id)
         self._sealed.discard(party_id)
@@ -287,6 +443,10 @@ class SecureAggregationSession:
             # weighted_combine would reject this too, but only *after* the
             # rows were unsealed — validate while everything is still masked.
             raise ValueError("weights must sum to a positive value")
+        # Threshold mode: run the reconstruction round for every
+        # contributing party before any row is unsealed, so a
+        # below-threshold cohort fails with everything still masked.
+        self.recover([pid for pid, _ in party_rows])
         unsealed: list[int] = []
         try:
             for party_id, row in party_rows:
@@ -358,11 +518,13 @@ class SecureAggregationSession:
                 f"waiting for parties {self.missing}; masked updates are "
                 "meaningless individually"
             )
-        weights = sorted(set(self._weights.values()))
-        if len(weights) > 1:
+        if len(set(self._weights.values())) > 1:
+            offenders = ", ".join(
+                f"party {pid}: {self._weights[pid]:g}"
+                for pid in self.cohort if pid in self._weights)
             raise ValueError(
                 f"masked aggregation requires uniform weights (got "
-                f"{weights}); pre-scale updates party-side instead"
+                f"{offenders}); pre-scale updates party-side instead"
             )
         rows = [self._rows[p] for p in self.cohort]
         flat = self._bank.weighted_combine(np.ones(len(rows)), rows)

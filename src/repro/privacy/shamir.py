@@ -1,0 +1,98 @@
+"""Shamir t-of-n secret sharing over GF(2^61 - 1).
+
+Bonawitz-style dropout recovery needs each party's mask seeds to survive
+the party itself: before a round starts, every party splits its secrets
+into ``n`` shares of which any ``t`` reconstruct the value and any
+``t - 1`` reveal nothing.  The field is the Mersenne prime 2^61 - 1 —
+large enough to hold the 61-bit seed digests the aggregation session
+shares, small enough that every share fits one machine word and all the
+polynomial arithmetic stays exact in Python ints.
+
+The polynomial is the textbook construction: ``f(x) = secret + a_1 x +
+... + a_{t-1} x^{t-1}`` with uniformly random coefficients, shares are
+``(x, f(x))`` for ``x = 1..n``, and reconstruction is Lagrange
+interpolation at ``x = 0`` using Fermat inverses (the field is prime, so
+``pow(v, PRIME - 2, PRIME)`` inverts any nonzero ``v``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+# Mersenne prime 2^61 - 1: the share field.  Secrets are 61-bit words.
+PRIME = (1 << 61) - 1
+
+
+def _evaluate_poly(coefficients: Sequence[int], x: int) -> int:
+    """Evaluate ``sum(c_k * x**k)`` mod PRIME via Horner's rule."""
+    acc = 0
+    for coefficient in reversed(coefficients):
+        acc = (acc * x + coefficient) % PRIME
+    return acc
+
+
+def split_secret(secret: int, num_shares: int, threshold: int,
+                 rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    Returns ``(x, y)`` pairs with ``x = 1..num_shares``.  The blinding
+    coefficients come from ``rng`` so a seeded generator yields a
+    reproducible sharing (the determinism contract of the whole repo).
+    """
+    secret = int(secret)
+    if not 0 <= secret < PRIME:
+        raise ValueError(
+            f"secret {secret} is outside the share field [0, 2^61 - 1)")
+    num_shares = int(num_shares)
+    threshold = int(threshold)
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1 (got {threshold})")
+    if num_shares < threshold:
+        raise ValueError(
+            f"cannot split into {num_shares} shares with threshold "
+            f"{threshold}: any t-of-n sharing needs n >= t")
+    if num_shares >= PRIME:
+        raise ValueError(f"num_shares {num_shares} exceeds the field size")
+    coefficients = [secret] + [
+        int(rng.integers(PRIME)) for _ in range(threshold - 1)]
+    return [(x, _evaluate_poly(coefficients, x))
+            for x in range(1, num_shares + 1)]
+
+
+def reconstruct_secret(shares: Iterable[tuple[int, int]]) -> int:
+    """Recover the secret from ``(x, y)`` shares by Lagrange interpolation
+    at ``x = 0``.
+
+    The caller is responsible for passing at least ``threshold`` shares;
+    with fewer, interpolation silently yields a wrong value — which is why
+    :class:`~repro.privacy.secure_aggregation.SecureAggregationSession`
+    gates reconstruction on the resolved threshold *before* calling here.
+    """
+    shares = list(shares)
+    if not shares:
+        raise ValueError("cannot reconstruct a secret from zero shares")
+    xs = [int(x) for x, _ in shares]
+    ys = [int(y) % PRIME for _, y in shares]
+    if any(not 0 < x < PRIME for x in xs):
+        raise ValueError(f"share x-coordinates must lie in (0, PRIME); "
+                         f"got {sorted(set(xs))[:8]}")
+    if len(set(xs)) != len(xs):
+        raise ValueError(f"duplicate share x-coordinates: {sorted(xs)}")
+    total = 0
+    for i, (x_i, y_i) in enumerate(zip(xs, ys)):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if j == i:
+                continue
+            numerator = (numerator * x_j) % PRIME
+            denominator = (denominator * (x_j - x_i)) % PRIME
+        total = (total + y_i * numerator
+                 * pow(denominator, PRIME - 2, PRIME)) % PRIME
+    return total
+
+
+__all__ = ["PRIME", "split_secret", "reconstruct_secret"]

@@ -170,6 +170,7 @@ def compile_scenario(scenario, executor=None) -> ExperimentPlan:
         shards=doc.shards, shard_backend=doc.shard_backend,
         shard_hosts=doc.shard_hosts,
         secure_aggregation=doc.secure_aggregation,
+        privacy=doc.privacy,
         federation=federation, population=population,
         cohort_size=cohort_size,
         spec_override=spec_override, settings_override=settings_override)

@@ -7,6 +7,10 @@ top of the required ``dataset``/``strategies`` pair:
   run knobs that already live on :class:`~repro.experiments.plan
   .ExperimentPlan` (``dtype``/``precision``/``shards``/``shard_backend``/
   ``shard_hosts``/``secure_aggregation``);
+* ``[privacy]`` — the run's :class:`~repro.privacy.plan.PrivacyPlan`:
+  ``masking``, ``threshold`` (Shamir t-of-n dropout recovery; an int or
+  ``"majority"``), ``sealed_scoring``, ``mask_seed``.  A top-level string
+  (``privacy = "masking=on,threshold=3"``) works too;
 * ``[data]`` — dataset-spec resizing: ``parties``, ``train_per_window``,
   ``test_per_window``, and (only together with drift) ``num_windows``;
 * ``[rounds]`` — round counts: ``burn_in``, ``per_window``,
@@ -42,8 +46,8 @@ from repro.data.drift import CohortDrift
 TOP_LEVEL_KEYS = frozenset({
     "name", "dataset", "profile", "seeds", "strategies", "dtype",
     "precision", "shards", "shard_backend", "shard_hosts",
-    "secure_aggregation", "data", "rounds", "population", "availability",
-    "drift",
+    "secure_aggregation", "privacy", "data", "rounds", "population",
+    "availability", "drift",
 })
 DATA_KEYS = frozenset({"parties", "train_per_window", "test_per_window",
                        "num_windows"})
@@ -56,6 +60,8 @@ AVAILABILITY_KEYS = frozenset({
     "min_reports", "max_wait", "staleness_policy", "outage_fraction",
     "outage_rounds", "straggler_zipf_a", "max_delay_rounds",
 })
+PRIVACY_KEYS = frozenset({"masking", "threshold", "sealed_scoring",
+                          "mask_seed"})
 
 
 def _check_keys(block: str, mapping: Mapping, allowed: frozenset) -> dict:
@@ -92,6 +98,7 @@ class ScenarioDoc:
     shard_backend: str | None = None
     shard_hosts: object = None
     secure_aggregation: bool | None = None
+    privacy: object = None  # [privacy] table or a spec string; None = off
     data: dict = field(default_factory=dict)
     rounds: dict = field(default_factory=dict)
     population: dict = field(default_factory=dict)
@@ -110,6 +117,8 @@ class ScenarioDoc:
                                       POPULATION_KEYS)
         self.availability = _check_keys("availability", self.availability,
                                         AVAILABILITY_KEYS)
+        if isinstance(self.privacy, Mapping):
+            self.privacy = _check_keys("privacy", self.privacy, PRIVACY_KEYS)
         self.drift = tuple(CohortDrift.from_value(d) for d in self.drift)
         if "num_windows" in self.data and not self.drift:
             raise ValueError(
@@ -126,7 +135,7 @@ class ScenarioDoc:
         out["profile"] = self.profile
         out["seeds"] = list(self.seeds)
         for key in ("dtype", "precision", "shards", "shard_backend",
-                    "shard_hosts", "secure_aggregation"):
+                    "shard_hosts", "secure_aggregation", "privacy"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value

@@ -484,9 +484,22 @@ class ParamBank:
         return [self.weighted_combine(w, r)
                 for w, r in zip(weight_sets, rows_sets)]
 
-    def cosine_matrix(self, rows: list[int] | None = None) -> np.ndarray:
-        """Pairwise cosine similarity of rows via one normalized matmul."""
-        return cosine_similarity_matrix(self.matrix(rows))
+    def cosine_matrix(self, rows: list[int] | None = None,
+                      seal=None) -> np.ndarray:
+        """Pairwise cosine similarity of rows via one normalized matmul.
+
+        ``seal`` (a :class:`~repro.privacy.sealed_scoring.ScoreSeal`, duck-
+        typed to avoid an import cycle) runs the kernel over sign-sealed
+        copies of the rows instead of the plaintext gather.  The ``±1``
+        factors cancel term-by-term inside every inner product, so the
+        masked path is bitwise-identical to the plaintext one at any
+        precision — while the stacked operand the kernel actually touches
+        carries no plaintext parameter row.
+        """
+        matrix = self.matrix(rows)
+        if seal is not None:
+            matrix = seal.seal(matrix)
+        return cosine_similarity_matrix(matrix)
 
     def astype(self, dtype) -> "ParamBank":
         """A new bank with every slot cast to ``dtype`` (refcounts preserved)."""
@@ -911,19 +924,24 @@ class ShardedParamBank:
                 outs[i] += np.asarray(partial)
         return outs
 
-    def _remote_gram_blocks(self, entries, positions_by_shard):
+    def _remote_gram_blocks(self, entries, positions_by_shard, seal=None):
         """Per-shard Gram block rows computed service-side (or None).
 
         The selection is gathered locally and shipped with each shard's
         block request — Gram blocks need *every* selected row, which spans
         shards on other hosts.  Returns None (degrade to serial) when the
-        service is unreachable.
+        service is unreachable.  With a ``seal`` the gathered stack is
+        sign-sealed *before* it goes on the wire, so the shard service
+        never receives a plaintext parameter row (the Gram block it
+        returns is bitwise the plaintext one — the signs cancel).
         """
         session = self._remote_session()
         if session is None:
             return None
         views = self.shard_views()
         x = np.stack([views[s][local] for s, local in entries])
+        if seal is not None:
+            x = seal.seal(x)
         blocks = []
         try:
             for s, positions in enumerate(positions_by_shard):
@@ -937,13 +955,21 @@ class ShardedParamBank:
             return None
         return blocks
 
-    def cosine_matrix(self, rows: list[int] | None = None) -> np.ndarray:
+    def cosine_matrix(self, rows: list[int] | None = None,
+                      seal=None) -> np.ndarray:
         """Pairwise cosine similarity via per-shard Gram block rows.
 
         Each shard computes the raw product block for the selected rows it
         owns against the full selection; the parent assembles the blocks and
         normalizes once (zero rows follow the
         :func:`cosine_similarity_matrix` conventions).
+
+        ``seal`` sign-seals the gathered selection before any backend
+        touches it: the remote service receives only sealed rows, and the
+        process fan-out — whose Gram ops read plaintext rows straight from
+        the shared-memory shards — degrades to the sealed serial gather.
+        Either way the signs cancel inside the Gram products, so the
+        result stays bitwise the unsealed one.
         """
         if rows is None:
             rows = self._live_rows()
@@ -957,9 +983,12 @@ class ShardedParamBank:
         backend = self.plan.backend_for(k * self.dim * self.dtype.itemsize)
         raw = np.empty((k, k), dtype=self.dtype)
         if backend == "remote":
-            blocks = self._remote_gram_blocks(entries, positions_by_shard)
+            blocks = self._remote_gram_blocks(entries, positions_by_shard,
+                                              seal=seal)
             if blocks is None:
                 backend = "serial"
+        if backend == "process" and seal is not None:
+            backend = "serial"
         if backend == "process":
             ops_by_shard = [[("gram", entries, p)] if p else []
                             for p in positions_by_shard]
@@ -969,6 +998,8 @@ class ShardedParamBank:
         elif backend == "serial":
             views = self.shard_views()
             x = np.stack([views[s][local] for s, local in entries])
+            if seal is not None:
+                x = seal.seal(x)
             tasks_pos = [p for p in positions_by_shard if p]
             blocks = [x[np.asarray(p)] @ x.T for p in tasks_pos]
         for positions, block in zip(

@@ -48,6 +48,7 @@ def _full_plan() -> ExperimentPlan:
         precision=PrecisionPlan(params="float32",
                                 detection_stats="float64"),
         shards=3, secure_aggregation=True,
+        privacy="masking=on,threshold=majority",
         federation=FederationConfig(mode="async"),
         population=PopulationConfig(size=500, max_resident=8),
         round_config=RoundConfig(
@@ -66,6 +67,7 @@ def _full_plan() -> ExperimentPlan:
         shards=2, shard_backend="remote",
         shard_hosts=("10.0.0.11:7700", "10.0.0.12:7700"),
         secure_aggregation=True,
+        privacy="masking=on,threshold=3,sealed_scoring=on",
         federation=federation,
         population=PopulationConfig(size=1000, max_resident=16, skew="zipf",
                                     zipf_a=1.5, survey=64),
@@ -99,9 +101,14 @@ class TestLosslessRoundTrip:
             "params": "float32", "detection_stats": "float64"}
         assert data["settings_override"]["dtype"] == "float32"
         assert data["secure_aggregation"] is True
+        assert data["privacy"] == {"masking": True, "threshold": 3,
+                                   "sealed_scoring": True, "mask_seed": None}
         assert data["federation"]["mode"] == "buffered"
         assert data["settings_override"]["shards"] == 3
         assert data["settings_override"]["secure_aggregation"] is True
+        assert data["settings_override"]["privacy"] == {
+            "masking": True, "threshold": "majority",
+            "sealed_scoring": False, "mask_seed": None}
         loaded = load_plan(tmp_path / "p.json")
         assert loaded.shards == 2
         assert loaded.secure_aggregation is True
@@ -113,6 +120,9 @@ class TestLosslessRoundTrip:
         assert settings.shard_backend == "remote"
         assert settings.shard_hosts == ("10.0.0.11:7700", "10.0.0.12:7700")
         assert settings.secure_aggregation is True
+        # The plan-level privacy knob wins over the override's plan.
+        assert settings.privacy.threshold == 3
+        assert settings.privacy.sealed_scoring is True
 
     def test_defaults_stay_omitted(self):
         """Optional knobs absent from the file stay absent on re-save."""
@@ -120,8 +130,8 @@ class TestLosslessRoundTrip:
         data = plan.to_dict()
         for key in ("dtype", "precision", "federation", "shards",
                     "shard_backend", "shard_hosts",
-                    "secure_aggregation", "population", "cohort_size",
-                    "spec_override", "settings_override"):
+                    "secure_aggregation", "privacy", "population",
+                    "cohort_size", "spec_override", "settings_override"):
             assert key not in data
         assert ExperimentPlan.from_dict(data) == plan
 

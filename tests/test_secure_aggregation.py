@@ -146,7 +146,10 @@ class TestFailureModes:
         updates = self._updates(rng, 2)
         session.submit(0, updates[0], weight=1.0)
         session.submit(1, updates[1], weight=3.0)
-        with pytest.raises(ValueError, match="uniform weights"):
+        # The refusal names the offending parties and their weights, so the
+        # misconfiguration is debuggable from the message alone.
+        with pytest.raises(ValueError,
+                           match=r"uniform weights.*party 0: 1.*party 1: 3"):
             session.aggregate()
 
     def test_unseal_requires_a_sealed_row(self, rng):
